@@ -1,0 +1,21 @@
+"""Figure 2(b): breakpoint deviation of EXP under large vs small scales."""
+
+import pytest
+
+from repro.experiments.fig2 import format_fig2b, run_fig2b
+
+
+@pytest.mark.benchmark(group="fig2b")
+def test_fig2b_breakpoint_deviation(benchmark, approx_budget):
+    result = benchmark.pedantic(
+        run_fig2b,
+        kwargs={"operator": "exp", "budget": approx_budget},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_fig2b(result))
+    # The paper's observation: quantizing the same breakpoint under a larger
+    # scaling factor moves it further and costs more local accuracy.
+    assert result.deviation_large >= result.deviation_small
+    assert result.error_large >= result.error_small * 0.5

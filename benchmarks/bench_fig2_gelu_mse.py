@@ -1,0 +1,23 @@
+"""Figure 2(a): GELU 8-entry MSE vs scaling factor for all three methods."""
+
+import pytest
+
+from repro.experiments.fig2 import format_fig2a, run_fig2a
+
+
+@pytest.mark.benchmark(group="fig2a")
+def test_fig2a_gelu_mse_vs_scale(benchmark, approx_budget):
+    result = benchmark.pedantic(
+        run_fig2a,
+        kwargs={"operator": "gelu", "num_entries": 8, "budget": approx_budget},
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_fig2a(result))
+    # Structural checks: one sweep per method, large scales contribute a
+    # substantial share of the total error (the paper's motivation).
+    assert set(result.sweeps) == {"nn-lut", "gqa-wo-rm", "gqa-rm"}
+    assert result.large_scale_share["gqa-wo-rm"] > 0.3
+    # GQA-LUT w/ RM beats NN-LUT on average (the headline of the figure).
+    assert result.improvement_over("nn-lut", "gqa-rm") > 1.0

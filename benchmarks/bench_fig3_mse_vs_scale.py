@@ -1,0 +1,41 @@
+"""Figure 3: normalized MSE for GELU / HSWISH / EXP, 8 and 16 entries."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.fig3 import format_fig3, run_fig3
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_mse_across_scales(benchmark, approx_budget):
+    result = benchmark.pedantic(
+        run_fig3,
+        kwargs={
+            "operators": ("gelu", "hswish", "exp"),
+            "methods": ("nn-lut", "gqa-rm"),
+            "entries": (8, 16),
+            "budget": approx_budget,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_fig3(result))
+    # GQA-LUT w/ RM should improve over NN-LUT on average for every operator
+    # and entry count (the paper reports 2.4x-26x per-scale factors).
+    for operator in ("gelu", "hswish", "exp"):
+        for entries in (8, 16):
+            nn = next(s for s in result.series
+                      if s.operator == operator and s.method == "nn-lut"
+                      and s.num_entries == entries)
+            gqa = next(s for s in result.series
+                       if s.operator == operator and s.method == "gqa-rm"
+                       and s.num_entries == entries)
+            # Strict dominance is asserted with a 10% tolerance so that a
+            # single unlucky seed at reduced search budgets does not flip the
+            # structural conclusion; the recorded numbers live in
+            # EXPERIMENTS.md.
+            assert gqa.average < nn.average * 1.1, (
+                "%s %d-entry: gqa-rm (%.2e) should beat nn-lut (%.2e)"
+                % (operator, entries, gqa.average, nn.average)
+            )

@@ -1,0 +1,35 @@
+"""Table 3: average MSE of every method on every operator (8/16 entries)."""
+
+import pytest
+
+from repro.experiments.table3 import format_table3, run_table3
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_average_mse(benchmark, approx_budget):
+    result = benchmark.pedantic(
+        run_table3,
+        kwargs={
+            "operators": ("gelu", "hswish", "exp", "div", "rsqrt"),
+            "methods": ("nn-lut", "gqa-wo-rm", "gqa-rm"),
+            "entries": (8, 16),
+            "budget": approx_budget,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table3(result))
+    # The paper's takeaway: a GQA-LUT variant wins every column against
+    # NN-LUT for the scale-dependent operators.
+    for entries in (8, 16):
+        for operator in ("gelu", "hswish", "exp"):
+            nn = result.value("nn-lut", entries, operator)
+            best_gqa = min(result.value("gqa-wo-rm", entries, operator),
+                           result.value("gqa-rm", entries, operator))
+            # 10% tolerance guards against seed noise at reduced budgets; the
+            # recorded numbers are in EXPERIMENTS.md.
+            assert best_gqa < nn * 1.1, (
+                "%s %d-entry: GQA (%.2e) should beat NN-LUT (%.2e)"
+                % (operator, entries, best_gqa, nn)
+            )

@@ -1,0 +1,29 @@
+"""Table 4: fine-tuning mIoU of the MiniSegformer substitute."""
+
+import pytest
+
+from repro.experiments.table4 import format_table4, run_table4
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_segformer_finetune(benchmark, approx_budget, finetune_budget):
+    result = benchmark.pedantic(
+        run_table4,
+        kwargs={
+            "budget": finetune_budget,
+            "approx_budget": approx_budget,
+            "include_individual": True,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table4(result))
+    # Structural expectations that hold at any budget: a baseline, one row
+    # per (method, replacement), and bounded degradations.
+    assert 0.0 <= result.baseline_miou <= 1.0
+    assert len(result.rows) == 3 * (len(result.operators) + 1)
+    for row in result.rows:
+        assert 0.0 <= row.miou <= 1.0
+        # Replacing operators by an 8-entry pwl must not collapse the model.
+        assert row.degradation < 0.5

@@ -1,0 +1,26 @@
+"""Table 5: fine-tuning mIoU of the MiniEfficientViT substitute."""
+
+import pytest
+
+from repro.experiments.table5 import format_table5, run_table5
+
+
+@pytest.mark.benchmark(group="table5")
+def test_table5_efficientvit_finetune(benchmark, approx_budget, finetune_budget):
+    result = benchmark.pedantic(
+        run_table5,
+        kwargs={
+            "budget": finetune_budget,
+            "approx_budget": approx_budget,
+            "include_individual": True,
+        },
+        iterations=1,
+        rounds=1,
+    )
+    print()
+    print(format_table5(result))
+    assert 0.0 <= result.baseline_miou <= 1.0
+    assert len(result.rows) == 3 * (len(result.operators) + 1)
+    for row in result.rows:
+        assert 0.0 <= row.miou <= 1.0
+        assert row.degradation < 0.5

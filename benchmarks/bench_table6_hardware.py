@@ -1,0 +1,38 @@
+"""Table 6: hardware area/power of the pwl unit across precisions."""
+
+import pytest
+
+from repro.experiments.table6 import format_table6_experiment, run_table6
+from repro.hardware.cost_model import Precision
+
+
+@pytest.mark.benchmark(group="table6")
+def test_table6_hardware_costs(benchmark):
+    result = benchmark(run_table6)
+    print()
+    print(format_table6_experiment(result))
+    # The paper's headline: INT8 saves ~81% area and ~79-80% power vs
+    # FP32/INT32, and 16 entries cost ~1.7x area of 8 entries.
+    assert 0.75 <= result.area_saving_vs_fp32 <= 0.88
+    assert 0.75 <= result.area_saving_vs_int32 <= 0.88
+    assert 0.72 <= result.power_saving_vs_fp32 <= 0.88
+    assert 0.72 <= result.power_saving_vs_int32 <= 0.88
+    assert 1.4 <= result.entry_area_ratio_int8 <= 2.0
+    int8 = result.estimate(Precision.INT8, 8)
+    assert int8.area_um2 == pytest.approx(961, rel=0.05)
+
+
+@pytest.mark.benchmark(group="table6")
+def test_verilog_generation_for_searched_lut(benchmark, approx_budget):
+    """Generate RTL for a searched GELU LUT (the deployable artefact)."""
+    from repro.core.search import GQALUT
+    from repro.hardware.verilog import generate_pwl_verilog
+
+    outcome = GQALUT.for_operator("gelu", num_entries=8, use_rm=True).search(
+        generations=min(approx_budget.generations, 100),
+        population_size=approx_budget.population_size,
+        seed=approx_budget.seed,
+    )
+    lut = outcome.quantized_lut(scale=0.25)
+    rtl = benchmark(generate_pwl_verilog, lut)
+    assert "module" in rtl and "endmodule" in rtl

@@ -1,0 +1,48 @@
+"""Shared configuration for the benchmark harnesses.
+
+Each benchmark regenerates one table or figure of the paper.  The search /
+training budgets default to a "medium" setting so the whole suite finishes
+in a few minutes; set the environment variable ``REPRO_BENCH_BUDGET=paper``
+for the full Table 1 budgets (500 generations, 100K NN-LUT samples) or
+``REPRO_BENCH_BUDGET=quick`` for a fast smoke run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.methods import ApproximationBudget
+from repro.experiments.finetune import FinetuneBudget
+
+
+def _approx_budget() -> ApproximationBudget:
+    mode = os.environ.get("REPRO_BENCH_BUDGET", "medium").lower()
+    if mode == "paper":
+        return ApproximationBudget.paper()
+    if mode == "quick":
+        return ApproximationBudget.quick()
+    return ApproximationBudget(generations=150, population_size=50,
+                               nn_lut_samples=20_000, nn_lut_iterations=2000, seed=0)
+
+
+def _finetune_budget() -> FinetuneBudget:
+    mode = os.environ.get("REPRO_BENCH_BUDGET", "medium").lower()
+    if mode == "paper":
+        return FinetuneBudget(pretrain_epochs=40, finetune_epochs=8, num_train=128,
+                              num_val=48, image_size=32, embed_dim=32, depth=2)
+    if mode == "quick":
+        return FinetuneBudget.quick()
+    return FinetuneBudget(pretrain_epochs=20, finetune_epochs=4, num_train=64,
+                          num_val=24, image_size=24, embed_dim=24, depth=2)
+
+
+@pytest.fixture(scope="session")
+def approx_budget() -> ApproximationBudget:
+    return _approx_budget()
+
+
+@pytest.fixture(scope="session")
+def finetune_budget() -> FinetuneBudget:
+    return _finetune_budget()

@@ -1,0 +1,60 @@
+"""Hardware costs of the pwl unit and Verilog export (Table 6).
+
+The script prints the Table 6 sweep from the calibrated 28-nm cost model,
+shows the per-component breakdown of the INT8 unit, and writes synthesizable
+Verilog RTL (plus a self-checking testbench) for a freshly searched GELU
+LUT so the datapath can be pushed through a real synthesis flow.
+
+Run with::
+
+    python examples/hardware_report.py [--out-dir rtl/]
+"""
+
+import argparse
+import os
+
+from repro import GQALUT
+from repro.experiments.table6 import format_table6_experiment, run_table6
+from repro.hardware import (
+    Precision,
+    estimate_pwl_unit,
+    format_synthesis_report,
+    generate_pwl_verilog,
+    generate_testbench,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default="rtl", help="directory for generated Verilog")
+    parser.add_argument("--scale", type=float, default=2.0 ** -4,
+                        help="power-of-two deployment scale for the generated RTL")
+    args = parser.parse_args()
+
+    # Table 6 sweep plus headline savings.
+    print(format_table6_experiment(run_table6()))
+    print()
+
+    # Per-component breakdown of the INT8 quantization-aware unit.
+    print(format_synthesis_report(estimate_pwl_unit(Precision.INT8, 8, calibrate=False)))
+    print()
+
+    # Search a GELU LUT and export RTL for it.
+    outcome = GQALUT.for_operator("gelu", num_entries=8, use_rm=True).search(
+        generations=120, seed=0
+    )
+    lut = outcome.quantized_lut(scale=args.scale)
+    os.makedirs(args.out_dir, exist_ok=True)
+    rtl_path = os.path.join(args.out_dir, "gqa_lut_gelu.v")
+    tb_path = os.path.join(args.out_dir, "gqa_lut_gelu_tb.v")
+    with open(rtl_path, "w") as handle:
+        handle.write(generate_pwl_verilog(lut, module_name="gqa_lut_gelu"))
+    with open(tb_path, "w") as handle:
+        handle.write(generate_testbench(lut, module_name="gqa_lut_gelu"))
+    print("wrote %s and %s" % (rtl_path, tb_path))
+    print("searched breakpoints quantized at S=%g: %s"
+          % (args.scale, lut.quantized_breakpoints.tolist()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+"""Operator-level comparison: GQA-LUT vs NN-LUT vs static baselines.
+
+Reproduces a compact version of Table 3 / Fig. 3: for each non-linear
+operator the script searches a GQA-LUT (with and without Rounding Mutation),
+trains the NN-LUT baseline, fits uniform/Chebyshev breakpoints, and reports
+the average INT8 quantization-aware MSE of each.
+
+Wide-range operators (DIV, RSQRT) are evaluated through the Table 2
+multi-range input scaling.
+
+Run with::
+
+    python examples/operator_comparison.py [--quick]
+"""
+
+import argparse
+
+from repro.baselines.chebyshev import chebyshev_pwl
+from repro.baselines.uniform import uniform_pwl
+from repro.core.config import default_config
+from repro.experiments.methods import ApproximationBudget, build_approximation
+from repro.experiments.protocol import average_mse
+
+OPERATORS = ("gelu", "hswish", "exp", "div", "rsqrt")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="use a tiny search budget (for smoke runs)")
+    parser.add_argument("--entries", type=int, default=8, help="LUT entry count")
+    args = parser.parse_args()
+
+    budget = ApproximationBudget.quick() if args.quick else ApproximationBudget()
+
+    header = "%-8s" % "op" + "".join(
+        "%14s" % m for m in ("nn-lut", "gqa-wo-rm", "gqa-rm", "uniform", "chebyshev")
+    )
+    print(header)
+    for operator in OPERATORS:
+        config = default_config(operator)
+        fn = config.function()
+        row = "%-8s" % operator
+        for method in ("nn-lut", "gqa-wo-rm", "gqa-rm"):
+            pwl = build_approximation(operator, method, num_entries=args.entries,
+                                      budget=budget)
+            row += "%14.2e" % average_mse(operator, pwl)
+        row += "%14.2e" % average_mse(
+            operator, uniform_pwl(fn, args.entries).to_fixed_point(config.frac_bits)
+        )
+        row += "%14.2e" % average_mse(
+            operator, chebyshev_pwl(fn, args.entries).to_fixed_point(config.frac_bits)
+        )
+        print(row)
+
+    print("\n(lower is better; scale-dependent ops average the 2^0..2^-6 sweep,")
+    print(" DIV/RSQRT use Table 2 multi-range input scaling)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Quickstart: search an INT8 quantization-aware GELU approximation.
+
+This is the 60-second tour of the library:
+
+1. run the GQA-LUT genetic search (Algorithm 1 + Rounding Mutation) for an
+   8-entry GELU look-up table,
+2. inspect the searched breakpoints and fixed-point parameters,
+3. deploy the LUT at a power-of-two scaling factor and compare against the
+   exact operator,
+4. sweep the scaling factors of Fig. 2(a)/Fig. 3 to see the
+   quantization-aware accuracy.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import GQALUT, get_function
+
+
+def main() -> None:
+    # 1. Search.  Table 1 defaults: 7 breakpoints, population 50, lambda=5.
+    #    A couple hundred generations is plenty for an 8-entry LUT.
+    searcher = GQALUT.for_operator("gelu", num_entries=8, use_rm=True)
+    outcome = searcher.search(generations=200, seed=0)
+
+    print("searched breakpoints :", np.round(outcome.breakpoints, 4))
+    print("FXP slopes           :", outcome.pwl_fxp.slopes)
+    print("FXP intercepts       :", outcome.pwl_fxp.intercepts)
+    print("float-domain MSE     : %.3e" % outcome.float_mse())
+
+    # 2. Deploy at a power-of-two scaling factor (the scale the LSQ quantizer
+    #    in front of the operator would learn, e.g. S = 2^-4).
+    scale = 2.0 ** -4
+    lut = outcome.quantized_lut(scale=scale)
+    x = np.linspace(-4, 4, 9)
+    exact = get_function("gelu")(x)
+    approx = lut(x)
+    print("\nx        :", x)
+    print("gelu(x)  :", np.round(exact, 4))
+    print("pwl(x)   :", np.round(approx, 4))
+
+    # 3. Quantization-aware accuracy across the paper's scale sweep.
+    print("\nMSE per scaling factor (Section 4.1 protocol):")
+    for s, mse in outcome.evaluate().items():
+        print("  S = 2^%-3d  MSE = %.3e" % (round(np.log2(s)), mse))
+    print("average MSE: %.3e" % outcome.average_mse())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+"""Quantized segmentation fine-tuning with pwl-replaced operators (Table 4/5).
+
+This example walks the full fine-tuning protocol on the MiniEfficientViT
+substitute (HSWISH + DIV, the Table 5 model family):
+
+1. pre-train the float model on the synthetic segmentation dataset,
+2. build the INT8 LSQ-quantized baseline and fine-tune it,
+3. replace HSWISH and DIV with searched GQA-LUT approximations and fine-tune
+   again,
+4. report the mIoU of each stage.
+
+Run with::
+
+    python examples/segmentation_finetune.py [--quick] [--model segformer|efficientvit]
+"""
+
+import argparse
+
+from repro.experiments.finetune import FinetuneBudget
+from repro.experiments.methods import ApproximationBudget
+from repro.experiments.table4 import run_table4, format_table4
+from repro.experiments.table5 import run_table5, format_table5
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="tiny budget for smoke runs")
+    parser.add_argument("--model", choices=("segformer", "efficientvit"),
+                        default="efficientvit")
+    parser.add_argument("--all-rows", action="store_true",
+                        help="also fine-tune each operator replaced on its own")
+    args = parser.parse_args()
+
+    if args.quick:
+        budget = FinetuneBudget.quick()
+        approx_budget = ApproximationBudget.quick()
+    else:
+        budget = FinetuneBudget(pretrain_epochs=20, finetune_epochs=4,
+                                num_train=64, num_val=24, image_size=24, embed_dim=24)
+        approx_budget = ApproximationBudget()
+
+    if args.model == "segformer":
+        result = run_table4(budget=budget, approx_budget=approx_budget,
+                            include_individual=args.all_rows)
+        print(format_table4(result))
+    else:
+        result = run_table5(budget=budget, approx_budget=approx_budget,
+                            include_individual=args.all_rows)
+        print(format_table5(result))
+
+    print("\nbaseline (INT8, exact non-linearities) mIoU: %.2f%%" % (100 * result.baseline_miou))
+    for method in ("nn-lut", "gqa-wo-rm", "gqa-rm"):
+        try:
+            row = result.row(method, "altogether")
+        except KeyError:
+            continue
+        print("%-10s altogether mIoU %.2f%%  (degradation %+.2f%%)"
+              % (method, 100 * row.miou, -100 * row.degradation))
+
+
+if __name__ == "__main__":
+    main()

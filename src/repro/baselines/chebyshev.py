@@ -1,0 +1,36 @@
+"""Chebyshev-node pwl baseline.
+
+Breakpoints placed at Chebyshev nodes concentrate resolution near the range
+boundaries, which is the classical heuristic for minimising interpolation
+error.  It is a stronger non-search baseline than uniform spacing for
+operators whose curvature concentrates near the boundaries (e.g. EXP).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pwl import PiecewiseLinear, fit_pwl
+from repro.functions.nonlinear import NonLinearFunction
+
+
+def chebyshev_nodes(lo: float, hi: float, count: int) -> np.ndarray:
+    """``count`` Chebyshev nodes mapped onto ``[lo, hi]`` (ascending)."""
+    if count < 1:
+        raise ValueError("count must be positive, got %d" % count)
+    if not lo < hi:
+        raise ValueError("invalid range [%r, %r]" % (lo, hi))
+    k = np.arange(1, count + 1, dtype=np.float64)
+    nodes = np.cos((2 * k - 1) * np.pi / (2 * count))
+    return np.sort((lo + hi) / 2.0 + (hi - lo) / 2.0 * nodes)
+
+
+def chebyshev_pwl(
+    function: NonLinearFunction,
+    num_entries: int = 8,
+    fit_method: str = "interpolate",
+) -> PiecewiseLinear:
+    """Fit a pwl with breakpoints at Chebyshev nodes of the search range."""
+    lo, hi = function.search_range
+    breakpoints = chebyshev_nodes(lo, hi, num_entries - 1)
+    return fit_pwl(function.fn, breakpoints, function.search_range, method=fit_method)

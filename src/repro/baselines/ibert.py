@@ -1,0 +1,89 @@
+"""I-BERT style polynomial approximations [Kim et al., ICML 2021].
+
+I-BERT replaces GELU, Softmax and LayerNorm kernels with second-order
+polynomial (or iterative) integer-friendly approximations.  The paper cites
+it as the operator-specific (non-general) alternative to LUT approximation;
+we provide the floating-point functional forms as a reference baseline so
+the generality argument can be evaluated quantitatively.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+# Coefficients from the I-BERT paper.
+_GELU_A = -0.2888
+_GELU_B = -1.769
+_EXP_LN2 = math.log(2.0)
+_EXP_A = 0.3585
+_EXP_B = 1.353
+_EXP_C = 0.344
+
+
+def _poly_erf(x: np.ndarray) -> np.ndarray:
+    """I-BERT's second-order polynomial approximation of erf."""
+    sign = np.sign(x)
+    clipped = np.minimum(np.abs(x), -_GELU_B)
+    poly = _GELU_A * (clipped + _GELU_B) ** 2 + 1.0
+    return sign * poly
+
+
+def i_gelu(x) -> np.ndarray:
+    """i-GELU: ``x * 0.5 * (1 + poly_erf(x / sqrt(2)))``."""
+    arr = np.asarray(x, dtype=np.float64)
+    return arr * 0.5 * (1.0 + _poly_erf(arr / math.sqrt(2.0)))
+
+
+def i_exp(x) -> np.ndarray:
+    """i-exp: range-reduced second-order polynomial approximation of exp.
+
+    Valid for non-positive inputs (the Softmax use case): ``x`` is
+    decomposed as ``x = -z * ln2 + r`` with ``r in (-ln2, 0]`` and
+    ``exp(x) = 2^-z * poly(r)``.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    arr = np.minimum(arr, 0.0)
+    z = np.floor(-arr / _EXP_LN2)
+    r = arr + z * _EXP_LN2
+    poly = _EXP_A * (r + _EXP_B) ** 2 + _EXP_C
+    return poly * (2.0 ** (-z))
+
+
+def i_sqrt(x, iterations: int = 4) -> np.ndarray:
+    """Integer-friendly Newton iteration for sqrt (i-sqrt).
+
+    Uses the Newton update ``s <- (s + x / s) / 2`` starting from a
+    power-of-two initial guess, which converges in a handful of iterations.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if np.any(arr < 0):
+        raise ValueError("i_sqrt requires non-negative inputs")
+    safe = np.maximum(arr, 1e-12)
+    exponent = np.ceil(np.log2(safe) / 2.0)
+    s = 2.0 ** exponent
+    for _ in range(iterations):
+        s = 0.5 * (s + safe / s)
+    return np.where(arr == 0.0, 0.0, s)
+
+
+def i_rsqrt(x, iterations: int = 4) -> np.ndarray:
+    """Reciprocal square root via i-sqrt plus one division."""
+    s = i_sqrt(x, iterations=iterations)
+    with np.errstate(divide="ignore"):
+        return np.where(s == 0.0, np.inf, 1.0 / np.where(s == 0.0, 1.0, s))
+
+
+class IBertSoftmax:
+    """Softmax built from i-exp, as a reference integer-friendly pipeline."""
+
+    def __init__(self, axis: int = -1) -> None:
+        self.axis = axis
+
+    def __call__(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        shifted = arr - np.max(arr, axis=self.axis, keepdims=True)
+        num = i_exp(shifted)
+        return num / np.sum(num, axis=self.axis, keepdims=True)

@@ -1,0 +1,22 @@
+"""Uniform-breakpoint pwl baseline.
+
+The simplest possible LUT approximation: breakpoints evenly spaced over the
+search range.  Useful as a floor for judging how much the genetic search
+actually buys.
+"""
+
+from __future__ import annotations
+
+from repro.core.pwl import PiecewiseLinear, fit_pwl, uniform_breakpoints
+from repro.functions.nonlinear import NonLinearFunction
+
+
+def uniform_pwl(
+    function: NonLinearFunction,
+    num_entries: int = 8,
+    fit_method: str = "interpolate",
+) -> PiecewiseLinear:
+    """Fit a pwl with evenly spaced breakpoints over the operator's range."""
+    lo, hi = function.search_range
+    breakpoints = uniform_breakpoints(lo, hi, num_entries)
+    return fit_pwl(function.fn, breakpoints, function.search_range, method=fit_method)

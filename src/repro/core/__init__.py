@@ -1,0 +1,67 @@
+"""Core GQA-LUT machinery: piece-wise linear approximation + genetic search.
+
+Public entry points:
+
+* :class:`repro.core.pwl.PiecewiseLinear` — a pwl function (Eq. 1).
+* :func:`repro.core.pwl.fit_pwl` — derive slopes/intercepts from breakpoints.
+* :class:`repro.core.lut.LUT` — hardware-style parameter storage.
+* :class:`repro.core.genetic.GeneticSearch` — Algorithm 1.
+* :class:`repro.core.mutation.RoundingMutation` — Algorithm 2.
+* :class:`repro.core.search.GQALUT` — the high-level "search an operator"
+  API combining all of the above with the Table 1 presets.
+"""
+
+from repro.core.pwl import PiecewiseLinear, fit_pwl, uniform_breakpoints
+from repro.core.lut import LUT, LUTEntry, QuantizedLUT
+from repro.core.fitness import (
+    GridMSEFitness,
+    QuantizedMSEFitness,
+    FitnessFunction,
+)
+from repro.core.mutation import (
+    MutationFunction,
+    NormalMutation,
+    RoundingMutation,
+)
+from repro.core.genetic import GeneticSearch, GASettings, GAResult
+from repro.core.config import (
+    OperatorSearchConfig,
+    default_config,
+    DEFAULT_CONFIGS,
+    GA_DEFAULTS,
+)
+from repro.core.search import GQALUT, SearchOutcome
+from repro.core.evaluation import (
+    QuantizedPWLEvaluator,
+    evaluate_operator_mse,
+    sweep_scaling_factors,
+    DEFAULT_SCALES,
+)
+
+__all__ = [
+    "PiecewiseLinear",
+    "fit_pwl",
+    "uniform_breakpoints",
+    "LUT",
+    "LUTEntry",
+    "QuantizedLUT",
+    "GridMSEFitness",
+    "QuantizedMSEFitness",
+    "FitnessFunction",
+    "MutationFunction",
+    "NormalMutation",
+    "RoundingMutation",
+    "GeneticSearch",
+    "GASettings",
+    "GAResult",
+    "OperatorSearchConfig",
+    "default_config",
+    "DEFAULT_CONFIGS",
+    "GA_DEFAULTS",
+    "GQALUT",
+    "SearchOutcome",
+    "QuantizedPWLEvaluator",
+    "evaluate_operator_mse",
+    "sweep_scaling_factors",
+    "DEFAULT_SCALES",
+]

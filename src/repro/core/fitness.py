@@ -1,0 +1,122 @@
+"""Fitness functions for the genetic breakpoint search.
+
+Algorithm 1 scores an individual (a breakpoint set) by the mean squared
+error of its pwl against the target function on a dense grid over the search
+range.  :class:`GridMSEFitness` implements exactly that.  As an extension we
+also provide :class:`QuantizedMSEFitness`, which scores the fully quantized
+pipeline averaged over a set of scaling factors — useful for ablations on
+how much the RM strategy buys over direct quantization-in-the-loop search.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.lut import QuantizedLUT
+from repro.core.pwl import fit_pwl
+from repro.functions.nonlinear import NonLinearFunction
+from repro.quant.quantizer import QuantSpec, quant_bounds
+
+
+class FitnessFunction:
+    """Interface: maps a breakpoint vector to a scalar error (lower = fitter)."""
+
+    def __call__(self, breakpoints: np.ndarray) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclasses.dataclass
+class GridMSEFitness(FitnessFunction):
+    """MSE of the fitted pwl on a dense grid (Algorithm 1, lines 4-8).
+
+    Parameters
+    ----------
+    function:
+        The target operator (provides the callable and the search range).
+    grid_step:
+        Sampling step over ``[R_n, R_p]``; the paper uses 0.01.
+    fit_method:
+        Passed through to :func:`fit_pwl`.
+    frac_bits:
+        When set, slopes/intercepts are FXP-rounded *before* scoring so the
+        fitness reflects the storage precision.  ``None`` scores the FP pwl
+        (the paper's formulation; FXP conversion happens after the search).
+    """
+
+    function: NonLinearFunction
+    grid_step: float = 0.01
+    fit_method: str = "interpolate"
+    frac_bits: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self._grid = self.function.sample_grid(self.grid_step)
+        self._reference = np.asarray(self.function(self._grid), dtype=np.float64)
+
+    @property
+    def grid(self) -> np.ndarray:
+        return self._grid
+
+    def build(self, breakpoints: np.ndarray):
+        """Fit the pwl for a breakpoint individual (shared with callers)."""
+        pwl = fit_pwl(
+            self.function.fn,
+            breakpoints,
+            self.function.search_range,
+            method=self.fit_method,
+        )
+        if self.frac_bits is not None:
+            pwl = pwl.to_fixed_point(self.frac_bits)
+        return pwl
+
+    def __call__(self, breakpoints: np.ndarray) -> float:
+        pwl = self.build(breakpoints)
+        approx = pwl(self._grid)
+        return float(np.mean((approx - self._reference) ** 2))
+
+
+@dataclasses.dataclass
+class QuantizedMSEFitness(FitnessFunction):
+    """MSE of the fully quantized Fig. 1b pipeline, averaged over scales.
+
+    For each scaling factor the input grid is the dequantized range
+    ``[Q_n S, Q_p S]`` intersected with the evaluation domain, sampled with
+    step ``S`` — the paper's operator-level evaluation protocol — and the
+    pwl is evaluated through :class:`QuantizedLUT` (quantized breakpoints,
+    FXP slopes/intercepts, shifter-rescaled intercepts).
+    """
+
+    function: NonLinearFunction
+    scales: Sequence[float] = (1.0, 0.5, 0.25, 0.125, 0.0625, 0.03125, 0.015625)
+    spec: QuantSpec = QuantSpec(bits=8, signed=True)
+    frac_bits: int = 5
+    fit_method: str = "interpolate"
+    eval_domain: Optional[Tuple[float, float]] = None
+
+    def build(self, breakpoints: np.ndarray):
+        return fit_pwl(
+            self.function.fn,
+            breakpoints,
+            self.function.search_range,
+            method=self.fit_method,
+        ).to_fixed_point(self.frac_bits)
+
+    def __call__(self, breakpoints: np.ndarray) -> float:
+        pwl = self.build(breakpoints)
+        qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
+        total = 0.0
+        for scale in self.scales:
+            lut = QuantizedLUT(pwl=pwl, scale=scale, spec=self.spec, frac_bits=self.frac_bits)
+            codes = np.arange(qn, qp + 1, dtype=np.float64)
+            x = codes * scale
+            if self.eval_domain is not None:
+                mask = (x >= self.eval_domain[0]) & (x <= self.eval_domain[1])
+                codes, x = codes[mask], x[mask]
+            if x.size == 0:
+                continue
+            approx = lut.lookup_dequantized(codes)
+            reference = np.asarray(self.function(x), dtype=np.float64)
+            total += float(np.mean((approx - reference) ** 2))
+        return total / max(len(self.scales), 1)

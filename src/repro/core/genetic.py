@@ -1,0 +1,230 @@
+"""Genetic breakpoint search (Algorithm 1 of the paper).
+
+The search maintains a population of breakpoint sets.  Each generation:
+
+1. every individual is scored by the fitness function (grid MSE),
+2. with probability ``theta_c`` an individual exchanges a random contiguous
+   segment of its breakpoint vector with another randomly chosen individual
+   (crossover),
+3. with probability ``theta_m`` the mutation function is applied
+   (Gaussian noise, or Rounding Mutation when the RM strategy is enabled),
+4. the next generation is formed by 3-way tournament selection.
+
+The search returns the fittest individual of the *final* generation, as in
+Algorithm 1 (line 20).  This matters for the Rounding Mutation strategy:
+after many generations of RM the surviving population is biased toward
+breakpoints that sit on coarse power-of-two grids, and picking from that
+final population is what makes the deployed breakpoints robust to
+quantization.  Optional elitism (off by default, as in the paper) can be
+enabled to stabilise the plain-Gaussian variant.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.fitness import FitnessFunction
+from repro.core.mutation import MutationFunction, NormalMutation
+
+
+@dataclasses.dataclass(frozen=True)
+class GASettings:
+    """Hyper-parameters of Algorithm 1.
+
+    Defaults follow the caption of Table 1: ``N_b = 7`` breakpoints
+    (8-entry pwl), population 50, crossover probability 0.7, mutation
+    probability 0.2, 500 generations.
+    """
+
+    num_breakpoints: int = 7
+    population_size: int = 50
+    crossover_prob: float = 0.7
+    mutation_prob: float = 0.2
+    generations: int = 500
+    tournament_size: int = 3
+    elitism: bool = False
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.num_breakpoints < 1:
+            raise ValueError("need at least one breakpoint")
+        if self.population_size < 2:
+            raise ValueError("population must hold at least two individuals")
+        if not 0.0 <= self.crossover_prob <= 1.0:
+            raise ValueError("crossover_prob must lie in [0, 1]")
+        if not 0.0 <= self.mutation_prob <= 1.0:
+            raise ValueError("mutation_prob must lie in [0, 1]")
+        if self.generations < 1:
+            raise ValueError("need at least one generation")
+        if self.tournament_size < 1:
+            raise ValueError("tournament size must be positive")
+
+
+@dataclasses.dataclass
+class GAResult:
+    """Outcome of a genetic search.
+
+    ``best_breakpoints`` / ``best_fitness`` describe the fittest individual
+    of the final generation (the paper's selection rule);
+    ``best_ever_breakpoints`` / ``best_ever_fitness`` track the fittest
+    individual seen at any point of the run, which is useful for diagnosing
+    how much the mutation pressure trades raw FP fitness for robustness.
+    """
+
+    best_breakpoints: np.ndarray
+    best_fitness: float
+    best_ever_breakpoints: np.ndarray
+    best_ever_fitness: float
+    history: List[float]
+    generations_run: int
+    evaluations: int
+
+    @property
+    def converged_early(self) -> bool:
+        return self.generations_run < len(self.history)
+
+
+class GeneticSearch:
+    """Runs Algorithm 1 for a given fitness and mutation operator."""
+
+    def __init__(
+        self,
+        fitness: FitnessFunction,
+        search_range: Tuple[float, float],
+        settings: GASettings = GASettings(),
+        mutation: Optional[MutationFunction] = None,
+    ) -> None:
+        lo, hi = search_range
+        if not lo < hi:
+            raise ValueError("invalid search range [%r, %r]" % (lo, hi))
+        self.fitness = fitness
+        self.search_range = (float(lo), float(hi))
+        self.settings = settings
+        self.mutation = mutation or NormalMutation(search_range=self.search_range)
+        self._rng = np.random.default_rng(settings.seed)
+
+    # -- population handling -------------------------------------------------
+
+    def _initial_population(self) -> List[np.ndarray]:
+        lo, hi = self.search_range
+        population = []
+        for _ in range(self.settings.population_size):
+            individual = np.sort(
+                self._rng.uniform(lo, hi, size=self.settings.num_breakpoints)
+            )
+            population.append(individual)
+        return population
+
+    def _crossover(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Swap a random contiguous segment between two individuals."""
+        n = a.size
+        if n < 2:
+            return a.copy(), b.copy()
+        start = int(self._rng.integers(0, n - 1))
+        stop = int(self._rng.integers(start + 1, n + 1))
+        child_a, child_b = a.copy(), b.copy()
+        child_a[start:stop], child_b[start:stop] = b[start:stop].copy(), a[start:stop].copy()
+        return np.sort(child_a), np.sort(child_b)
+
+    def _tournament(self, population: List[np.ndarray], scores: np.ndarray) -> List[np.ndarray]:
+        """3-way tournament selection (lower score wins)."""
+        size = self.settings.tournament_size
+        selected: List[np.ndarray] = []
+        for _ in range(len(population)):
+            contenders = self._rng.integers(0, len(population), size=size)
+            winner = contenders[int(np.argmin(scores[contenders]))]
+            selected.append(population[winner].copy())
+        return selected
+
+    # -- main loop -----------------------------------------------------------
+
+    def run(
+        self,
+        callback: Optional[Callable[[int, float, np.ndarray], None]] = None,
+        patience: Optional[int] = None,
+        tol: float = 0.0,
+    ) -> GAResult:
+        """Execute the evolutionary loop.
+
+        Parameters
+        ----------
+        callback:
+            Optional ``callback(generation, best_fitness, best_individual)``
+            invoked once per generation.
+        patience:
+            Stop early when the best fitness has not improved by more than
+            ``tol`` for ``patience`` consecutive generations.
+        """
+        settings = self.settings
+        population = self._initial_population()
+        best_ever_bp: Optional[np.ndarray] = None
+        best_ever_fit = float("inf")
+        history: List[float] = []
+        evaluations = 0
+        stale = 0
+        generations_run = 0
+
+        for generation in range(settings.generations):
+            generations_run = generation + 1
+            scores = np.array([self.fitness(ind) for ind in population])
+            evaluations += len(population)
+
+            gen_best_idx = int(np.argmin(scores))
+            improved = scores[gen_best_idx] < best_ever_fit - tol
+            if scores[gen_best_idx] < best_ever_fit:
+                best_ever_fit = float(scores[gen_best_idx])
+                best_ever_bp = population[gen_best_idx].copy()
+            history.append(best_ever_fit)
+            if callback is not None:
+                callback(generation, best_ever_fit, best_ever_bp)
+
+            stale = 0 if improved else stale + 1
+            if patience is not None and stale >= patience:
+                break
+
+            # Selection.
+            next_population = self._tournament(population, scores)
+
+            # Crossover.
+            for i in range(len(next_population)):
+                if self._rng.random() < settings.crossover_prob:
+                    j = int(self._rng.integers(0, len(next_population)))
+                    if j == i:
+                        j = (j + 1) % len(next_population)
+                    next_population[i], next_population[j] = self._crossover(
+                        next_population[i], next_population[j]
+                    )
+
+            # Mutation.
+            for i in range(len(next_population)):
+                if self._rng.random() < settings.mutation_prob:
+                    next_population[i] = self.mutation(next_population[i], self._rng)
+
+            # Optional elitism: keep the best-so-far individual alive.
+            if settings.elitism and best_ever_bp is not None:
+                next_population[0] = best_ever_bp.copy()
+
+            population = next_population
+
+        if best_ever_bp is None:  # pragma: no cover - defensive; generations >= 1
+            raise RuntimeError("genetic search produced no individuals")
+
+        # Algorithm 1 line 20: the answer is the fittest individual of the
+        # final generation (which, under RM, carries the quantization-robust
+        # grid-aligned breakpoints).
+        final_scores = np.array([self.fitness(ind) for ind in population])
+        evaluations += len(population)
+        final_best_idx = int(np.argmin(final_scores))
+
+        return GAResult(
+            best_breakpoints=population[final_best_idx].copy(),
+            best_fitness=float(final_scores[final_best_idx]),
+            best_ever_breakpoints=best_ever_bp,
+            best_ever_fitness=best_ever_fit,
+            history=history,
+            generations_run=generations_run,
+            evaluations=evaluations,
+        )

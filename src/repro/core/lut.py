@@ -1,0 +1,176 @@
+"""LUT storage structures mirroring Figure 1 of the paper.
+
+Two storage patterns are modelled:
+
+* :class:`LUT` — the conventional FP/INT32 pattern (Fig. 1a): slopes,
+  intercepts and breakpoints are stored at full precision and the comparer
+  operates on the high-precision input directly.
+* :class:`QuantizedLUT` — the quantization-aware pattern (Fig. 1b): the LUT
+  stores FXP slopes/intercepts plus breakpoints pre-quantized by the runtime
+  power-of-two scaling factor ``S``; the comparer operates on the INT8/16
+  code ``q`` and the intercepts are rescaled by a shifter at run time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.pwl import PiecewiseLinear
+from repro.quant.fxp import fxp_round
+from repro.quant.power_of_two import is_power_of_two, power_of_two_exponent
+from repro.quant.quantizer import QuantSpec, quant_bounds
+
+
+@dataclasses.dataclass(frozen=True)
+class LUTEntry:
+    """One row of the LUT: a slope/intercept pair."""
+
+    slope: float
+    intercept: float
+
+    def evaluate(self, x) -> np.ndarray:
+        """Evaluate this entry's line at ``x``."""
+        return self.slope * np.asarray(x, dtype=np.float64) + self.intercept
+
+
+@dataclasses.dataclass(frozen=True)
+class LUT:
+    """High-precision LUT storage (Fig. 1a).
+
+    Wraps a :class:`PiecewiseLinear` and exposes the row/comparer view a
+    hardware designer would use.
+    """
+
+    pwl: PiecewiseLinear
+
+    @property
+    def num_entries(self) -> int:
+        return self.pwl.num_entries
+
+    @property
+    def entries(self) -> List[LUTEntry]:
+        return [
+            LUTEntry(float(k), float(b))
+            for k, b in zip(self.pwl.slopes, self.pwl.intercepts)
+        ]
+
+    @property
+    def breakpoints(self) -> np.ndarray:
+        return self.pwl.breakpoints
+
+    def lookup(self, x) -> np.ndarray:
+        """Comparer + selected-entry evaluation on high-precision input."""
+        return self.pwl(x)
+
+    def storage_bits(self, value_bits: int = 32) -> int:
+        """Total parameter storage in bits.
+
+        ``N`` slopes + ``N`` intercepts + ``N - 1`` breakpoints, each stored
+        in ``value_bits`` bits.
+        """
+        n = self.num_entries
+        return (3 * n - 1) * value_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedLUT:
+    """Quantization-aware LUT (Fig. 1b).
+
+    Parameters
+    ----------
+    pwl:
+        The searched pwl (FP breakpoints, FXP-rounded slopes/intercepts).
+    scale:
+        Power-of-two input scaling factor ``S``.
+    spec:
+        Integer format of the input codes (INT8 by default).
+    frac_bits:
+        Decimal bit-width ``lambda`` used for the stored slopes/intercepts
+        and for the shifter output.
+    """
+
+    pwl: PiecewiseLinear
+    scale: float
+    spec: QuantSpec = QuantSpec(bits=8, signed=True)
+    frac_bits: int = 5
+
+    def __post_init__(self) -> None:
+        if self.scale <= 0:
+            raise ValueError("scale must be positive, got %r" % (self.scale,))
+        if not is_power_of_two(self.scale):
+            raise ValueError(
+                "QuantizedLUT requires a power-of-two scale (got %r); "
+                "round it with round_scale_to_power_of_two()" % (self.scale,)
+            )
+
+    @property
+    def num_entries(self) -> int:
+        return self.pwl.num_entries
+
+    @property
+    def shift(self) -> int:
+        """Right-shift amount implementing the division by ``S``."""
+        return power_of_two_exponent(self.scale)
+
+    @property
+    def quantized_breakpoints(self) -> np.ndarray:
+        """Breakpoints quantized to the input integer grid (Eq. 3)."""
+        qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
+        return np.clip(np.round(self.pwl.breakpoints / self.scale), qn, qp)
+
+    @property
+    def stored_slopes(self) -> np.ndarray:
+        """FXP slopes as stored in the LUT."""
+        return fxp_round(self.pwl.slopes, self.frac_bits)
+
+    @property
+    def stored_intercepts(self) -> np.ndarray:
+        """FXP intercepts as stored in the LUT (pre-shift values)."""
+        return fxp_round(self.pwl.intercepts, self.frac_bits)
+
+    @property
+    def shifted_intercepts(self) -> np.ndarray:
+        """Run-time intercepts ``b_i >> log2(S)`` produced by the shifter."""
+        return fxp_round(self.stored_intercepts / self.scale, self.frac_bits)
+
+    def segment_index(self, q) -> np.ndarray:
+        """Comparer on integer codes against the quantized breakpoints."""
+        codes = np.asarray(q, dtype=np.float64)
+        return np.searchsorted(self.quantized_breakpoints, codes, side="right")
+
+    def lookup_integer(self, q) -> np.ndarray:
+        """Integer-domain pwl output ``k_i * q + (b_i >> shift)``."""
+        codes = np.asarray(q, dtype=np.float64)
+        idx = self.segment_index(codes)
+        return self.stored_slopes[idx] * codes + self.shifted_intercepts[idx]
+
+    def lookup_dequantized(self, q) -> np.ndarray:
+        """Real-domain approximation ``S * (k_i q + b_i / S) ~= k_i x + b_i``."""
+        return self.scale * self.lookup_integer(q)
+
+    def __call__(self, x) -> np.ndarray:
+        """Quantize ``x``, run the integer pipeline, and dequantize.
+
+        This is the end-to-end behaviour of the Fig. 1b unit when fed a real
+        value: the surrounding layer would normally supply ``q`` directly.
+        """
+        qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
+        q = np.clip(np.round(np.asarray(x, dtype=np.float64) / self.scale), qn, qp)
+        return self.lookup_dequantized(q)
+
+    def storage_bits(self) -> int:
+        """Parameter storage in bits for the Fig. 1b pattern.
+
+        Slopes and intercepts are stored in ``frac_bits``-fraction FXP words
+        of the input width; breakpoints are stored as input-width integers.
+        """
+        n = self.num_entries
+        word = self.spec.bits
+        return (3 * n - 1) * word
+
+    def with_scale(self, scale: float) -> "QuantizedLUT":
+        """Re-target the same searched parameters to a new scaling factor."""
+        return QuantizedLUT(pwl=self.pwl, scale=scale, spec=self.spec, frac_bits=self.frac_bits)

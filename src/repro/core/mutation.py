@@ -1,0 +1,104 @@
+"""Mutation operators for the genetic breakpoint search.
+
+Two operators are provided:
+
+* :class:`NormalMutation` — the conventional mutation used by GQA-LUT
+  *without* RM: each breakpoint is perturbed by normally distributed noise
+  with some per-element probability.
+* :class:`RoundingMutation` — Algorithm 2: the Rounding Mutation (RM)
+  strategy.  Each breakpoint is, with probability ``theta_r`` per grid
+  exponent ``i`` in ``[m_a, m_b]``, rounded onto the fixed-point grid
+  ``2^-i``.  This "images" the FXP/quantization rounding the breakpoint will
+  suffer at deployment as a stochastic mutation during evolution, so the
+  survivors are breakpoints that remain good after quantization.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+class MutationFunction:
+    """Interface: mutate a breakpoint vector in place-free fashion."""
+
+    def __call__(
+        self, breakpoints: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclasses.dataclass(frozen=True)
+class NormalMutation(MutationFunction):
+    """Additive Gaussian-noise mutation (the non-RM default).
+
+    Parameters
+    ----------
+    sigma_fraction:
+        Noise standard deviation as a fraction of the search-range width.
+    per_element_prob:
+        Probability that each individual breakpoint is perturbed.
+    search_range:
+        ``[R_n, R_p]``; mutated breakpoints are clipped back into it.
+    """
+
+    search_range: Tuple[float, float]
+    sigma_fraction: float = 0.05
+    per_element_prob: float = 0.5
+
+    def __call__(self, breakpoints: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        lo, hi = self.search_range
+        width = hi - lo
+        bp = np.asarray(breakpoints, dtype=np.float64).copy()
+        mask = rng.random(bp.shape) < self.per_element_prob
+        noise = rng.normal(0.0, self.sigma_fraction * width, size=bp.shape)
+        bp = np.where(mask, bp + noise, bp)
+        return np.sort(np.clip(bp, lo, hi))
+
+
+@dataclasses.dataclass(frozen=True)
+class RoundingMutation(MutationFunction):
+    """Rounding Mutation (Algorithm 2).
+
+    For each breakpoint ``p`` draw ``rand_p ~ U[0, 1]`` and scan the grid
+    exponents ``i = m_a .. m_b``; the first ``i`` whose probability slot
+    ``[i * theta_r, (i + 1) * theta_r)`` contains ``rand_p`` triggers the
+    rounding ``p' = round(p * 2^i) / 2^i`` (a single mutation per
+    breakpoint).  With ``theta_r = 0`` the operator is the identity, which
+    matches the DIV/RSQRT rows of Table 1.
+
+    The mutated set is re-sorted, as required by the comparer semantics.
+    """
+
+    mutate_range: Tuple[int, int] = (0, 6)
+    theta_r: float = 0.05
+    search_range: Optional[Tuple[float, float]] = None
+
+    def __post_init__(self) -> None:
+        ma, mb = self.mutate_range
+        if ma < 0 or mb < ma:
+            raise ValueError("mutate_range must satisfy 0 <= m_a <= m_b, got %r" % (self.mutate_range,))
+        if self.theta_r < 0:
+            raise ValueError("theta_r must be non-negative, got %r" % (self.theta_r,))
+
+    def mutate_scalar(self, p: float, rand_p: float) -> float:
+        """Apply Algorithm 2's inner loop to a single breakpoint."""
+        ma, mb = self.mutate_range
+        if self.theta_r <= 0:
+            return p
+        for i in range(ma, mb + 1):
+            if i * self.theta_r <= rand_p < (i + 1) * self.theta_r:
+                return float(np.round(p * (2.0 ** i)) / (2.0 ** i))
+        return p
+
+    def __call__(self, breakpoints: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        bp = np.asarray(breakpoints, dtype=np.float64).copy()
+        mutated = np.empty_like(bp)
+        for idx, p in enumerate(bp):
+            rand_p = float(rng.random())
+            mutated[idx] = self.mutate_scalar(float(p), rand_p)
+        if self.search_range is not None:
+            mutated = np.clip(mutated, self.search_range[0], self.search_range[1])
+        return np.sort(mutated)

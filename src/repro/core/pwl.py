@@ -1,0 +1,186 @@
+"""Piece-wise linear approximation (Eq. 1 of the paper).
+
+An ``N``-entry pwl is defined by ``N - 1`` breakpoints ``p_0 < ... < p_{N-2}``
+and per-segment slopes/intercepts ``k_i, b_i``:
+
+    pwl(x) = k_0 x + b_0          if x <  p_0
+           = k_i x + b_i          if p_{i-1} <= x < p_i
+           = k_{N-1} x + b_{N-1}  if x >= p_{N-2}
+
+:func:`fit_pwl` derives the slopes and intercepts for a given breakpoint set
+by interpolating (or least-squares fitting) the target function on each
+segment over the search range, which is exactly how GQA-LUT turns a
+breakpoint individual into a candidate approximation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.quant.fxp import fxp_round
+
+
+@dataclasses.dataclass(frozen=True)
+class PiecewiseLinear:
+    """An immutable piece-wise linear function.
+
+    Attributes
+    ----------
+    breakpoints:
+        Sorted array of ``N - 1`` segment boundaries.
+    slopes, intercepts:
+        Arrays of length ``N`` holding ``k_i`` and ``b_i``.
+    """
+
+    breakpoints: np.ndarray
+    slopes: np.ndarray
+    intercepts: np.ndarray
+
+    def __post_init__(self) -> None:
+        bp = np.asarray(self.breakpoints, dtype=np.float64).ravel()
+        k = np.asarray(self.slopes, dtype=np.float64).ravel()
+        b = np.asarray(self.intercepts, dtype=np.float64).ravel()
+        if k.shape != b.shape:
+            raise ValueError("slopes and intercepts must have the same length")
+        if bp.size != k.size - 1:
+            raise ValueError(
+                "an N-entry pwl needs N-1 breakpoints (got %d breakpoints for %d entries)"
+                % (bp.size, k.size)
+            )
+        if bp.size and np.any(np.diff(bp) < 0):
+            raise ValueError("breakpoints must be sorted in ascending order")
+        object.__setattr__(self, "breakpoints", bp)
+        object.__setattr__(self, "slopes", k)
+        object.__setattr__(self, "intercepts", b)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of LUT entries (segments)."""
+        return int(self.slopes.size)
+
+    def segment_index(self, x) -> np.ndarray:
+        """Return the segment index selected for each element of ``x``.
+
+        Matches the comparer in Figure 1: index ``i`` is the count of
+        breakpoints less than or equal to ``x``.
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        return np.searchsorted(self.breakpoints, arr, side="right")
+
+    def __call__(self, x) -> np.ndarray:
+        """Evaluate the pwl at ``x`` (element-wise)."""
+        arr = np.asarray(x, dtype=np.float64)
+        idx = self.segment_index(arr)
+        return self.slopes[idx] * arr + self.intercepts[idx]
+
+    def to_fixed_point(self, frac_bits: int) -> "PiecewiseLinear":
+        """Round slopes and intercepts to FXP with ``frac_bits`` decimal bits.
+
+        This is the final step of Algorithm 1 (``lambda`` rounding); the
+        breakpoints are left untouched — their quantization depends on the
+        runtime scaling factor and is handled by :class:`QuantizedLUT`.
+        """
+        return PiecewiseLinear(
+            breakpoints=self.breakpoints.copy(),
+            slopes=fxp_round(self.slopes, frac_bits),
+            intercepts=fxp_round(self.intercepts, frac_bits),
+        )
+
+    def max_segment_width(self) -> float:
+        """Widest interior segment; useful for diagnosing degenerate fits."""
+        if self.breakpoints.size < 2:
+            return float("inf")
+        return float(np.max(np.diff(self.breakpoints)))
+
+    def is_continuous(self, tol: float = 1e-6) -> bool:
+        """True when adjacent segments agree at every breakpoint within ``tol``."""
+        if self.breakpoints.size == 0:
+            return True
+        left = self.slopes[:-1] * self.breakpoints + self.intercepts[:-1]
+        right = self.slopes[1:] * self.breakpoints + self.intercepts[1:]
+        return bool(np.all(np.abs(left - right) <= tol))
+
+
+def uniform_breakpoints(lo: float, hi: float, num_entries: int) -> np.ndarray:
+    """Evenly spaced interior breakpoints for an ``num_entries``-entry pwl."""
+    if num_entries < 2:
+        raise ValueError("a pwl needs at least 2 entries, got %d" % num_entries)
+    if not lo < hi:
+        raise ValueError("invalid range [%r, %r]" % (lo, hi))
+    return np.linspace(lo, hi, num_entries + 1)[1:-1]
+
+
+def _clean_breakpoints(
+    breakpoints: Sequence[float], lo: float, hi: float, min_gap: float
+) -> np.ndarray:
+    """Sort, clip to the search range, and enforce a minimal spacing."""
+    bp = np.sort(np.asarray(breakpoints, dtype=np.float64).ravel())
+    bp = np.clip(bp, lo, hi)
+    if bp.size == 0:
+        return bp
+    cleaned = [float(bp[0])]
+    for value in bp[1:]:
+        cleaned.append(max(float(value), cleaned[-1] + min_gap))
+    return np.minimum(np.asarray(cleaned), hi)
+
+
+def fit_pwl(
+    fn: Callable[[np.ndarray], np.ndarray],
+    breakpoints: Sequence[float],
+    search_range: Tuple[float, float],
+    method: str = "interpolate",
+    samples_per_segment: int = 64,
+) -> PiecewiseLinear:
+    """Derive slopes/intercepts for ``breakpoints`` approximating ``fn``.
+
+    Parameters
+    ----------
+    fn:
+        The target non-linear function.
+    breakpoints:
+        The ``N - 1`` candidate breakpoints (an individual of the GA
+        population).  They are sorted and lightly de-duplicated before use.
+    search_range:
+        The ``[R_n, R_p]`` interval; the two outermost segments are fitted on
+        ``[R_n, p_0]`` and ``[p_{N-2}, R_p]``.
+    method:
+        ``"interpolate"`` joins the function values at segment endpoints
+        (continuous pwl, the construction shown in Fig. 2b);
+        ``"lstsq"`` performs an independent least-squares line fit per
+        segment (lower MSE but possibly discontinuous).
+    samples_per_segment:
+        Sample count per segment for the least-squares method.
+    """
+    lo, hi = float(search_range[0]), float(search_range[1])
+    if not lo < hi:
+        raise ValueError("invalid search range [%r, %r]" % (lo, hi))
+    min_gap = (hi - lo) * 1e-6
+    bp = _clean_breakpoints(breakpoints, lo, hi, min_gap)
+    edges = np.concatenate(([lo], bp, [hi]))
+
+    if method == "interpolate":
+        values = np.asarray(fn(edges), dtype=np.float64)
+        x0, x1 = edges[:-1], edges[1:]
+        y0, y1 = values[:-1], values[1:]
+        width = np.maximum(x1 - x0, min_gap)
+        slopes = (y1 - y0) / width
+        intercepts = y0 - slopes * x0
+    elif method == "lstsq":
+        slopes = np.empty(edges.size - 1)
+        intercepts = np.empty(edges.size - 1)
+        for i in range(edges.size - 1):
+            x0, x1 = edges[i], edges[i + 1]
+            if x1 - x0 < min_gap:
+                x1 = x0 + min_gap
+            xs = np.linspace(x0, x1, samples_per_segment)
+            ys = np.asarray(fn(xs), dtype=np.float64)
+            design = np.stack([xs, np.ones_like(xs)], axis=1)
+            coeff, *_ = np.linalg.lstsq(design, ys, rcond=None)
+            slopes[i], intercepts[i] = coeff[0], coeff[1]
+    else:
+        raise ValueError("unknown fit method %r (expected 'interpolate' or 'lstsq')" % method)
+
+    return PiecewiseLinear(breakpoints=bp, slopes=slopes, intercepts=intercepts)

@@ -1,0 +1,13 @@
+"""Synthetic data generation for the fine-tuning experiments."""
+
+from repro.data.synthetic_segmentation import (
+    SyntheticSegmentationConfig,
+    SyntheticSegmentationDataset,
+    generate_scene,
+)
+
+__all__ = [
+    "SyntheticSegmentationConfig",
+    "SyntheticSegmentationDataset",
+    "generate_scene",
+]

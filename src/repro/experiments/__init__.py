@@ -1,0 +1,49 @@
+"""Experiment runners reproducing every table and figure of the paper.
+
+Each module exposes a ``run_*`` function returning a plain-python result
+object plus a ``format_*`` helper that renders it in the shape of the
+paper's table/figure.  The benchmark harnesses under ``benchmarks/`` and the
+example scripts call these runners with budgets appropriate to their
+context (quick smoke settings for CI, fuller settings for the recorded
+EXPERIMENTS.md numbers).
+"""
+
+from repro.experiments.methods import (
+    ApproximationBudget,
+    build_approximation,
+    build_approximations,
+    METHODS,
+)
+from repro.experiments.fig2 import run_fig2a, run_fig2b, format_fig2a, format_fig2b
+from repro.experiments.fig3 import run_fig3, format_fig3
+from repro.experiments.table3 import run_table3, format_table3
+from repro.experiments.finetune import (
+    FinetuneBudget,
+    run_finetune_experiment,
+    format_finetune_table,
+)
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.table6 import run_table6, format_table6_experiment
+
+__all__ = [
+    "ApproximationBudget",
+    "build_approximation",
+    "build_approximations",
+    "METHODS",
+    "run_fig2a",
+    "run_fig2b",
+    "format_fig2a",
+    "format_fig2b",
+    "run_fig3",
+    "format_fig3",
+    "run_table3",
+    "format_table3",
+    "FinetuneBudget",
+    "run_finetune_experiment",
+    "format_finetune_table",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "format_table6_experiment",
+]

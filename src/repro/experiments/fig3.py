@@ -1,0 +1,114 @@
+"""Figure 3: normalized MSE vs scaling factor for GELU, HSWISH and EXP.
+
+The figure compares NN-LUT and GQA-LUT w/ RM at 8 and 16 LUT entries across
+the scaling-factor sweep ``S = 2^0 .. 2^-6`` plus the sweep average, and
+annotates the per-scale improvement factor of GQA-LUT over NN-LUT.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluation import DEFAULT_SCALES
+from repro.experiments.methods import ApproximationBudget, build_approximation
+from repro.experiments.protocol import scale_sweep_mse
+
+
+@dataclasses.dataclass
+class Fig3Series:
+    """One curve of the figure: (method, entries) for a given operator."""
+
+    operator: str
+    method: str
+    num_entries: int
+    sweep: Dict[float, float]
+
+    @property
+    def average(self) -> float:
+        return float(np.mean(list(self.sweep.values())))
+
+
+@dataclasses.dataclass
+class Fig3Result:
+    """All series, grouped per operator."""
+
+    series: List[Fig3Series]
+
+    def for_operator(self, operator: str) -> List[Fig3Series]:
+        return [s for s in self.series if s.operator == operator]
+
+    def improvement(
+        self, operator: str, num_entries: int, scale: float,
+        reference: str = "nn-lut", method: str = "gqa-rm",
+    ) -> float:
+        """Per-scale improvement factor of ``method`` over ``reference``."""
+        ref = next(
+            s for s in self.series
+            if s.operator == operator and s.method == reference and s.num_entries == num_entries
+        )
+        got = next(
+            s for s in self.series
+            if s.operator == operator and s.method == method and s.num_entries == num_entries
+        )
+        denominator = got.sweep[scale]
+        return float(ref.sweep[scale] / denominator) if denominator > 0 else float("inf")
+
+
+def run_fig3(
+    operators: Sequence[str] = ("gelu", "hswish", "exp"),
+    methods: Sequence[str] = ("nn-lut", "gqa-rm"),
+    entries: Sequence[int] = (8, 16),
+    scales: Sequence[float] = DEFAULT_SCALES,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Fig3Result:
+    """Reproduce the Fig. 3 sweep."""
+    series: List[Fig3Series] = []
+    for operator in operators:
+        for method in methods:
+            for num_entries in entries:
+                pwl = build_approximation(
+                    operator, method, num_entries=num_entries, budget=budget
+                )
+                sweep = scale_sweep_mse(operator, pwl, scales=scales)
+                series.append(
+                    Fig3Series(operator=operator, method=method, num_entries=num_entries, sweep=sweep)
+                )
+    return Fig3Result(series=series)
+
+
+def format_fig3(result: Fig3Result) -> str:
+    """Render Fig. 3 as text: per-operator normalized MSE plus improvements."""
+    lines: List[str] = ["Figure 3: normalized MSE across INT8 scaling factors"]
+    operators = sorted({s.operator for s in result.series})
+    for operator in operators:
+        group = result.for_operator(operator)
+        scales = sorted(next(iter(group)).sweep.keys(), reverse=True)
+        peak = max(max(s.sweep.values()) for s in group)
+        lines.append("")
+        lines.append("[%s]" % operator.upper())
+        header = "%-22s" % "method/entries" + "".join(
+            "%9s" % ("2^%d" % round(np.log2(s))) for s in scales
+        ) + "%9s" % "avg"
+        lines.append(header)
+        for s in group:
+            label = "%s (%d)" % (s.method, s.num_entries)
+            normalized = [s.sweep[scale] / peak if peak > 0 else 0.0 for scale in scales]
+            row = "%-22s" % label + "".join("%9.3f" % v for v in normalized)
+            row += "%9.3f" % (s.average / peak if peak > 0 else 0.0)
+            lines.append(row)
+        # Improvement factors of GQA-LUT w/ RM over NN-LUT, per entry count.
+        methods = {s.method for s in group}
+        if "nn-lut" in methods and "gqa-rm" in methods:
+            for num_entries in sorted({s.num_entries for s in group}):
+                factors = [
+                    result.improvement(operator, num_entries, scale)
+                    for scale in scales
+                ]
+                lines.append(
+                    "  %d-entry improvement (gqa-rm vs nn-lut): avg %.2fx, max %.2fx"
+                    % (num_entries, float(np.mean(factors)), float(np.max(factors)))
+                )
+    return "\n".join(lines)

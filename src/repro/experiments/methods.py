@@ -1,0 +1,102 @@
+"""Shared construction of the compared approximation methods.
+
+Three methods appear throughout the evaluation:
+
+* ``"nn-lut"``      — the NN-LUT baseline (trained MLP, exact pwl extraction),
+* ``"gqa-wo-rm"``   — GQA-LUT with conventional Gaussian mutation,
+* ``"gqa-rm"``      — GQA-LUT with the Rounding Mutation strategy.
+
+All three produce a :class:`PiecewiseLinear` whose slopes and intercepts are
+FXP-rounded with the operator's ``lambda`` (Table 1), so the downstream
+quantized evaluation treats them identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Iterable, Optional, Tuple
+
+from repro.baselines.nn_lut import NNLUT, NNLUTTrainingConfig
+from repro.core.config import default_config
+from repro.core.pwl import PiecewiseLinear
+from repro.core.search import GQALUT
+
+# Canonical method identifiers, in the order the paper's tables list them.
+METHODS: Tuple[str, ...] = ("nn-lut", "gqa-wo-rm", "gqa-rm")
+
+
+@dataclasses.dataclass(frozen=True)
+class ApproximationBudget:
+    """Search/training budget knobs shared by the experiment runners.
+
+    The paper's full budget is ``generations=500`` (Table 1 caption) and
+    100K NN-LUT samples; the defaults here are lighter so that a complete
+    table regenerates in minutes, and tests use even smaller values.
+    """
+
+    generations: int = 150
+    population_size: int = 50
+    nn_lut_samples: int = 20_000
+    nn_lut_iterations: int = 1500
+    seed: int = 0
+
+    @classmethod
+    def paper(cls) -> "ApproximationBudget":
+        """The budget matching the paper's reported configuration."""
+        return cls(generations=500, population_size=50,
+                   nn_lut_samples=100_000, nn_lut_iterations=3000, seed=0)
+
+    @classmethod
+    def quick(cls) -> "ApproximationBudget":
+        """A tiny budget for unit tests and smoke runs."""
+        return cls(generations=25, population_size=16,
+                   nn_lut_samples=3000, nn_lut_iterations=300, seed=0)
+
+
+def build_approximation(
+    operator: str,
+    method: str,
+    num_entries: int = 8,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> PiecewiseLinear:
+    """Produce the FXP pwl for one (operator, method, entry-count) triple."""
+    config = default_config(operator)
+    if method == "nn-lut":
+        nn = NNLUT(
+            config.function(),
+            num_entries=num_entries,
+            config=NNLUTTrainingConfig(
+                num_samples=budget.nn_lut_samples,
+                iterations=budget.nn_lut_iterations,
+                seed=budget.seed,
+            ),
+        )
+        nn.train()
+        return nn.extract_fxp_pwl(frac_bits=config.frac_bits)
+    if method in ("gqa-wo-rm", "gqa-rm"):
+        searcher = GQALUT.for_operator(
+            operator, num_entries=num_entries, use_rm=(method == "gqa-rm")
+        )
+        outcome = searcher.search(
+            generations=budget.generations,
+            population_size=budget.population_size,
+            seed=budget.seed,
+        )
+        return outcome.pwl_fxp
+    raise ValueError("unknown method %r; expected one of %s" % (method, METHODS))
+
+
+def build_approximations(
+    operators: Iterable[str],
+    methods: Iterable[str] = METHODS,
+    num_entries: int = 8,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Dict[Tuple[str, str], PiecewiseLinear]:
+    """Build every (operator, method) combination; keyed by that pair."""
+    out: Dict[Tuple[str, str], PiecewiseLinear] = {}
+    for operator in operators:
+        for method in methods:
+            out[(operator, method)] = build_approximation(
+                operator, method, num_entries=num_entries, budget=budget
+            )
+    return out

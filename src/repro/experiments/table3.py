@@ -1,0 +1,77 @@
+"""Table 3: average MSE of each method on every operator, 8 and 16 entries.
+
+Scale-dependent operators (GELU, HSWISH, EXP) report the average quantized-
+pipeline MSE over the ``2^0 .. 2^-6`` scaling-factor sweep; wide-range
+operators (DIV, RSQRT) report the multi-range-scaling MSE over the covered
+input range (Table 2 setup).  All methods are converted to the same INT8
+FXP precision before evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.experiments.methods import ApproximationBudget, METHODS, build_approximation
+from repro.experiments.protocol import average_mse
+
+
+@dataclasses.dataclass
+class Table3Result:
+    """Average MSE keyed by (method, num_entries, operator)."""
+
+    operators: Tuple[str, ...]
+    methods: Tuple[str, ...]
+    entries: Tuple[int, ...]
+    mse: Dict[Tuple[str, int, str], float]
+
+    def value(self, method: str, num_entries: int, operator: str) -> float:
+        return self.mse[(method, num_entries, operator)]
+
+    def best_method(self, num_entries: int, operator: str) -> str:
+        """Method with the lowest average MSE for one column of the table."""
+        return min(self.methods, key=lambda m: self.mse[(m, num_entries, operator)])
+
+
+def run_table3(
+    operators: Sequence[str] = ("gelu", "hswish", "exp", "div", "rsqrt"),
+    methods: Sequence[str] = METHODS,
+    entries: Sequence[int] = (8, 16),
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Table3Result:
+    """Reproduce Table 3."""
+    mse: Dict[Tuple[str, int, str], float] = {}
+    for method in methods:
+        for num_entries in entries:
+            for operator in operators:
+                pwl = build_approximation(
+                    operator, method, num_entries=num_entries, budget=budget
+                )
+                mse[(method, num_entries, operator)] = average_mse(operator, pwl)
+    return Table3Result(
+        operators=tuple(operators), methods=tuple(methods), entries=tuple(entries), mse=mse
+    )
+
+
+def format_table3(result: Table3Result) -> str:
+    """Render the table in the paper's layout."""
+    lines: List[str] = ["Table 3: Comparison of Average MSE on Different Methods (INT8 LUT)"]
+    header = "%-14s %6s" % ("Method", "Entry") + "".join(
+        "%12s" % op.upper() for op in result.operators
+    )
+    lines.append(header)
+    for method in result.methods:
+        for num_entries in result.entries:
+            row = "%-14s %6d" % (method, num_entries)
+            for operator in result.operators:
+                row += "%12.2e" % result.value(method, num_entries, operator)
+            lines.append(row)
+    for num_entries in result.entries:
+        winners = {
+            op: result.best_method(num_entries, op) for op in result.operators
+        }
+        lines.append(
+            "%d-entry best method per operator: %s"
+            % (num_entries, ", ".join("%s->%s" % (op, m) for op, m in winners.items()))
+        )
+    return "\n".join(lines)

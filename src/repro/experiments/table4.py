@@ -1,0 +1,52 @@
+"""Table 4: fine-tuning mIoU of the vanilla-Transformer segmentation model.
+
+Paper setting: Segformer-B0 on Cityscapes at 1024x1024, INT8 integer-only
+quantization, non-linear operators EXP / GELU / DIV / RSQRT replaced by
+8-entry pwl from NN-LUT, GQA-LUT w/o RM and GQA-LUT w/ RM.
+
+Substitution here (see DESIGN.md): :class:`MiniSegformer` on the synthetic
+segmentation dataset.  The quantity compared with the paper is the *ordering
+and relative size* of the mIoU degradation across methods, not the absolute
+mIoU.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.finetune import (
+    ApproximationBudget,
+    FinetuneBudget,
+    FinetuneResult,
+    format_finetune_table,
+    run_finetune_experiment,
+)
+from repro.experiments.methods import METHODS
+from repro.nn.models import MiniSegformer
+
+# The operator inventory of the vanilla Transformer model (Table 4 rows).
+TABLE4_OPERATORS = ("exp", "gelu", "div", "rsqrt")
+
+
+def run_table4(
+    methods: Sequence[str] = METHODS,
+    budget: FinetuneBudget = FinetuneBudget(),
+    approx_budget: ApproximationBudget = ApproximationBudget(),
+    include_individual: bool = True,
+) -> FinetuneResult:
+    """Reproduce Table 4 with the MiniSegformer substitute."""
+    return run_finetune_experiment(
+        MiniSegformer,
+        operators=TABLE4_OPERATORS,
+        methods=methods,
+        budget=budget,
+        approx_budget=approx_budget,
+        include_individual=include_individual,
+    )
+
+
+def format_table4(result: FinetuneResult) -> str:
+    """Render Table 4."""
+    return format_finetune_table(
+        result, "Table 4: Fine-tuning mIoU of MiniSegformer (Segformer-B0 substitute)"
+    )

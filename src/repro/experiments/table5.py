@@ -1,0 +1,50 @@
+"""Table 5: fine-tuning mIoU of the lightweight linear-attention model.
+
+Paper setting: EfficientViT-B0 on Cityscapes at 1920x1024 with HSWISH and
+DIV as the only non-linear operators (linear attention is softmax-free).
+
+Substitution here (see DESIGN.md): :class:`MiniEfficientViT` (depthwise-conv
+token mixing + ReLU-kernel linear attention + HSWISH FFN) on the synthetic
+segmentation dataset.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.experiments.finetune import (
+    ApproximationBudget,
+    FinetuneBudget,
+    FinetuneResult,
+    format_finetune_table,
+    run_finetune_experiment,
+)
+from repro.experiments.methods import METHODS
+from repro.nn.models import MiniEfficientViT
+
+# The operator inventory of the lightweight model (Table 5 rows).
+TABLE5_OPERATORS = ("hswish", "div")
+
+
+def run_table5(
+    methods: Sequence[str] = METHODS,
+    budget: FinetuneBudget = FinetuneBudget(),
+    approx_budget: ApproximationBudget = ApproximationBudget(),
+    include_individual: bool = True,
+) -> FinetuneResult:
+    """Reproduce Table 5 with the MiniEfficientViT substitute."""
+    return run_finetune_experiment(
+        MiniEfficientViT,
+        operators=TABLE5_OPERATORS,
+        methods=methods,
+        budget=budget,
+        approx_budget=approx_budget,
+        include_individual=include_individual,
+    )
+
+
+def format_table5(result: FinetuneResult) -> str:
+    """Render Table 5."""
+    return format_finetune_table(
+        result, "Table 5: Fine-tuning mIoU of MiniEfficientViT (EfficientViT-B0 substitute)"
+    )

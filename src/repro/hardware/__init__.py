@@ -1,0 +1,70 @@
+"""Hardware cost modelling for the LUT-based pwl unit (Table 6 substitute).
+
+The paper synthesizes Verilog implementations of the Fig. 1 pwl units with
+Synopsys Design Compiler on TSMC 28-nm at 500 MHz.  Without the proprietary
+toolchain and PDK we substitute an analytical, component-level cost model:
+
+* :mod:`repro.hardware.components` — a 28-nm-calibrated library of datapath
+  components (registers, adders, multipliers, comparators, shifters,
+  multiplexers, FP32 units) with area and power estimates.
+* :mod:`repro.hardware.cost_model` — composes those components into the
+  Fig. 1a (high-precision) and Fig. 1b (quantization-aware) pwl units and
+  produces a synthesis-style area/power report.
+* :mod:`repro.hardware.verilog` — emits synthesizable Verilog RTL for the
+  quantization-aware unit, so the modelled datapath is concrete and could be
+  pushed through a real flow.
+
+The coefficients are calibrated so the INT8 / 8-entry anchor lands near the
+paper's 961 um^2 / 0.40 mW; the quantity of interest — the INT8 vs FP/INT32
+ratio — is robust to the calibration.
+"""
+
+from repro.hardware.components import (
+    Technology,
+    TSMC28,
+    HardwareComponent,
+    register_bank,
+    adder,
+    multiplier,
+    comparator,
+    barrel_shifter,
+    multiplexer,
+    priority_encoder,
+    fp32_multiplier,
+    fp32_adder,
+    fp32_comparator,
+)
+from repro.hardware.cost_model import (
+    Precision,
+    PWLUnitDesign,
+    SynthesisEstimate,
+    estimate_pwl_unit,
+    table6_sweep,
+)
+from repro.hardware.verilog import generate_pwl_verilog, generate_testbench
+from repro.hardware.report import format_synthesis_report, format_table6
+
+__all__ = [
+    "Technology",
+    "TSMC28",
+    "HardwareComponent",
+    "register_bank",
+    "adder",
+    "multiplier",
+    "comparator",
+    "barrel_shifter",
+    "multiplexer",
+    "priority_encoder",
+    "fp32_multiplier",
+    "fp32_adder",
+    "fp32_comparator",
+    "Precision",
+    "PWLUnitDesign",
+    "SynthesisEstimate",
+    "estimate_pwl_unit",
+    "table6_sweep",
+    "generate_pwl_verilog",
+    "generate_testbench",
+    "format_synthesis_report",
+    "format_table6",
+]

@@ -1,0 +1,51 @@
+"""Text reports in the shape of the paper's hardware tables."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.hardware.cost_model import Precision, SynthesisEstimate, savings_vs
+
+
+def format_synthesis_report(estimate: SynthesisEstimate) -> str:
+    """A Design-Compiler-flavoured per-component breakdown for one unit."""
+    lines: List[str] = []
+    lines.append(
+        "pwl unit: precision=%s entries=%d%s"
+        % (
+            estimate.precision.value.upper(),
+            estimate.num_entries,
+            " (calibrated)" if estimate.calibrated else "",
+        )
+    )
+    lines.append("-" * 56)
+    lines.append("%-22s %14s %14s" % ("component", "area (um^2)", "power (mW)"))
+    for name, (area, power) in sorted(estimate.breakdown().items()):
+        lines.append("%-22s %14.1f %14.4f" % (name, area, power))
+    lines.append("-" * 56)
+    lines.append("%-22s %14.1f %14.4f" % ("TOTAL", estimate.area_um2, estimate.power_mw))
+    return "\n".join(lines)
+
+
+def format_table6(estimates: Sequence[SynthesisEstimate]) -> str:
+    """Render a sweep of estimates in the layout of the paper's Table 6."""
+    lines: List[str] = []
+    lines.append("Table 6: Hardware Costs of the LUT-based pwl unit (model)")
+    lines.append("%-10s %8s %14s %12s" % ("Precision", "Entry", "Area (um^2)", "Power (mW)"))
+    for est in estimates:
+        lines.append(
+            "%-10s %8d %14.0f %12.2f"
+            % (est.precision.value.upper(), est.num_entries, est.area_um2, est.power_mw)
+        )
+    # Headline savings: INT8 vs FP32 / INT32 at 8 entries, when present.
+    by_key = {(e.precision, e.num_entries): e for e in estimates}
+    int8 = by_key.get((Precision.INT8, 8))
+    for ref_precision in (Precision.FP32, Precision.INT32):
+        ref = by_key.get((ref_precision, 8))
+        if int8 is not None and ref is not None:
+            area_saving, power_saving = savings_vs(ref, int8)
+            lines.append(
+                "INT8 8-entry vs %s 8-entry: area saving %.1f%%, power saving %.1f%%"
+                % (ref_precision.value.upper(), 100 * area_saving, 100 * power_saving)
+            )
+    return "\n".join(lines)

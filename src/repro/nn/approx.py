@@ -1,0 +1,289 @@
+"""Operator-replacement modules: exact, quantized-exact and pwl-approximated.
+
+The fine-tuning experiments (Tables 4 and 5) compare a quantized baseline
+model against the same model with one or more non-linear operators replaced
+by an 8-entry pwl produced by NN-LUT, GQA-LUT w/o RM or GQA-LUT w/ RM.  To
+keep the model definitions independent of that choice, models are built
+against an :class:`OperatorSuite` that supplies:
+
+* activation modules (GELU / HSWISH),
+* the EXP and DIV hooks used inside attention,
+* the LayerNorm flavour (exact or RSQRT-approximated).
+
+Three suites are provided: :class:`FloatSuite` (FP training),
+:class:`QuantizedBaselineSuite` (INT8 LSQ with power-of-two scales in front
+of every non-linear operator — the "None" row of Tables 4/5), and
+:class:`PWLSuite` (selected operators routed through their searched pwl).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, Optional, Set
+
+import numpy as np
+
+from repro.core.lut import QuantizedLUT
+from repro.core.pwl import PiecewiseLinear
+from repro.functions.nonlinear import NonLinearFunction
+from repro.functions.registry import get_function
+from repro.nn import functional as F
+from repro.nn.layers import GELU, HSwish, LayerNorm
+from repro.nn.module import Module, Parameter
+from repro.nn.quantization import PowerOfTwoQuantizer
+from repro.nn.tensor import Tensor
+from repro.scaling.multi_range import MultiRangePWL, MultiRangeScaling, default_multi_range
+
+
+class PWLElementwise(Module):
+    """Element-wise pwl application with segment-slope gradients."""
+
+    def __init__(self, forward_fn: Callable[[np.ndarray], np.ndarray],
+                 slope_fn: Callable[[np.ndarray], np.ndarray]) -> None:
+        super().__init__()
+        self._forward_fn = forward_fn
+        self._slope_fn = slope_fn
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.apply_elementwise(self._forward_fn, self._slope_fn)
+
+
+class QuantizedActivation(Module):
+    """Exact non-linear operator preceded by a power-of-two LSQ quantizer.
+
+    This is the operator flavour used by the quantized *baseline* model: the
+    input is INT8-quantized with a power-of-two scale (Section 3.1) and the
+    exact function is applied to the dequantized value.
+    """
+
+    def __init__(self, name: str, bits: int = 8) -> None:
+        super().__init__()
+        self.name = name
+        self.quantizer = PowerOfTwoQuantizer(bits=bits, signed=True)
+        self._exact = {"gelu": F.gelu, "hswish": F.hswish, "exp": lambda t: t.exp()}[name]
+
+    def forward(self, x: Tensor) -> Tensor:
+        return self._exact(self.quantizer(x))
+
+
+class PWLActivation(Module):
+    """Scale-dependent operator (GELU / HSWISH / EXP) replaced by a pwl.
+
+    The input passes through a power-of-two LSQ quantizer; the pwl is then
+    evaluated through the quantization-aware pipeline of Fig. 1b at the
+    quantizer's current scale.  The backward pass uses the slope of the
+    selected segment, which is the exact derivative of the deployed
+    approximation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        pwl: PiecewiseLinear,
+        bits: int = 8,
+        frac_bits: int = 5,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.pwl = pwl
+        self.bits = bits
+        self.frac_bits = frac_bits
+        self.quantizer = PowerOfTwoQuantizer(bits=bits, signed=True)
+
+    def _lut(self) -> QuantizedLUT:
+        from repro.quant.quantizer import QuantSpec
+
+        scale = self.quantizer.current_scale()
+        return QuantizedLUT(
+            pwl=self.pwl,
+            scale=scale,
+            spec=QuantSpec(bits=self.bits, signed=True),
+            frac_bits=self.frac_bits,
+        )
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.quantizer._initialised:
+            self.quantizer.initialise_from(x.data)
+        lut = self._lut()
+
+        def forward_fn(data: np.ndarray) -> np.ndarray:
+            return lut(data)
+
+        def slope_fn(data: np.ndarray) -> np.ndarray:
+            q = np.clip(np.round(data / lut.scale), lut.spec.qmin, lut.spec.qmax)
+            idx = lut.segment_index(q)
+            return lut.stored_slopes[idx]
+
+        return x.apply_elementwise(forward_fn, slope_fn)
+
+
+class PWLWideRange(Module):
+    """Wide-range operator (DIV / RSQRT) replaced by a multi-range pwl."""
+
+    def __init__(
+        self,
+        name: str,
+        pwl: PiecewiseLinear,
+        scaling: Optional[MultiRangeScaling] = None,
+        frac_bits: int = 5,
+    ) -> None:
+        super().__init__()
+        self.name = name
+        self.scaling = scaling or default_multi_range(name)
+        self.wrapped = MultiRangePWL(pwl=pwl, scaling=self.scaling, frac_bits=frac_bits)
+
+    def forward(self, x: Tensor) -> Tensor:
+        wrapped = self.wrapped
+        fxp = wrapped.fxp_pwl
+
+        def forward_fn(data: np.ndarray) -> np.ndarray:
+            return wrapped(data)
+
+        def slope_fn(data: np.ndarray) -> np.ndarray:
+            scaled, factor = wrapped.scaling.rescale_input(data)
+            idx = fxp.segment_index(scaled)
+            # d/dx [ factor * pwl(scale * x) ] = factor * slope * scale; the
+            # input scale equals factor**(1/rescale_power) only for DIV, so
+            # recompute it explicitly from the classification.
+            input_scale = np.ones_like(data)
+            classified = wrapped.scaling.classify(data)
+            for i, sub in enumerate(wrapped.scaling.sub_ranges):
+                input_scale = np.where(classified == i, sub.scale, input_scale)
+            return factor * fxp.slopes[idx] * input_scale
+
+        return x.apply_elementwise(forward_fn, slope_fn)
+
+
+class PWLLayerNorm(Module):
+    """LayerNorm whose inverse standard deviation uses a pwl RSQRT."""
+
+    def __init__(self, num_features: int, rsqrt_module: Module, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = num_features
+        self.eps = eps
+        self.weight = Parameter(np.ones(num_features))
+        self.bias = Parameter(np.zeros(num_features))
+        self.rsqrt = rsqrt_module
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        var = x.var(axis=-1, keepdims=True)
+        inv_std = self.rsqrt(var + self.eps)
+        return (x - mean) * inv_std * self.weight + self.bias
+
+
+# -- Operator suites -----------------------------------------------------------------
+
+
+class OperatorSuite:
+    """Factory for the operator flavours a model should be built with."""
+
+    name = "base"
+
+    def activation(self, kind: str) -> Module:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def exp_fn(self) -> Callable[[Tensor], Tensor]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def reciprocal_fn(self) -> Callable[[Tensor], Tensor]:  # pragma: no cover - interface
+        raise NotImplementedError
+
+    def layer_norm(self, num_features: int) -> Module:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class FloatSuite(OperatorSuite):
+    """Exact floating-point operators (used for pre-training)."""
+
+    name = "float"
+
+    def activation(self, kind: str) -> Module:
+        return {"gelu": GELU, "hswish": HSwish}[kind]()
+
+    def exp_fn(self) -> Callable[[Tensor], Tensor]:
+        return lambda t: t.exp()
+
+    def reciprocal_fn(self) -> Callable[[Tensor], Tensor]:
+        return lambda t: 1.0 / t
+
+    def layer_norm(self, num_features: int) -> Module:
+        return LayerNorm(num_features)
+
+
+class QuantizedBaselineSuite(OperatorSuite):
+    """INT8 baseline: exact operators behind power-of-two input quantizers.
+
+    Matches the "None" replacement row of Tables 4 and 5: the network is
+    quantized (weights/activations via LSQ elsewhere), the non-linear
+    operator inputs are quantized with power-of-two scales, but the
+    operators themselves are still exact.
+    """
+
+    name = "quant-baseline"
+
+    def __init__(self, bits: int = 8) -> None:
+        self.bits = bits
+
+    def activation(self, kind: str) -> Module:
+        return QuantizedActivation(kind, bits=self.bits)
+
+    def exp_fn(self) -> Callable[[Tensor], Tensor]:
+        op = QuantizedActivation("exp", bits=self.bits)
+        return op
+
+    def reciprocal_fn(self) -> Callable[[Tensor], Tensor]:
+        return lambda t: 1.0 / t
+
+    def layer_norm(self, num_features: int) -> Module:
+        return LayerNorm(num_features)
+
+
+@dataclasses.dataclass
+class PWLSuite(OperatorSuite):
+    """Operators replaced by searched pwl approximations.
+
+    Parameters
+    ----------
+    approximations:
+        Mapping from operator name ("gelu", "hswish", "exp", "div",
+        "rsqrt") to the searched FXP :class:`PiecewiseLinear`.
+    replace:
+        Which operators to actually replace; the rest fall back to the
+        quantized-baseline behaviour.  This directly encodes the rows of
+        Tables 4 and 5 ("EXP only", "GELU only", ..., "Altogether").
+    bits, frac_bits:
+        Deployment precision of the pwl units.
+    """
+
+    approximations: Dict[str, PiecewiseLinear]
+    replace: Set[str] = dataclasses.field(default_factory=set)
+    bits: int = 8
+    frac_bits: int = 5
+    name: str = "pwl"
+
+    def _should_replace(self, op: str) -> bool:
+        return op in self.replace and op in self.approximations
+
+    def activation(self, kind: str) -> Module:
+        if self._should_replace(kind):
+            return PWLActivation(kind, self.approximations[kind], bits=self.bits,
+                                 frac_bits=self.frac_bits)
+        return QuantizedActivation(kind, bits=self.bits)
+
+    def exp_fn(self) -> Callable[[Tensor], Tensor]:
+        if self._should_replace("exp"):
+            return PWLActivation("exp", self.approximations["exp"], bits=self.bits,
+                                 frac_bits=self.frac_bits)
+        return QuantizedActivation("exp", bits=self.bits)
+
+    def reciprocal_fn(self) -> Callable[[Tensor], Tensor]:
+        if self._should_replace("div"):
+            return PWLWideRange("div", self.approximations["div"], frac_bits=self.frac_bits)
+        return lambda t: 1.0 / t
+
+    def layer_norm(self, num_features: int) -> Module:
+        if self._should_replace("rsqrt"):
+            rsqrt = PWLWideRange("rsqrt", self.approximations["rsqrt"], frac_bits=self.frac_bits)
+            return PWLLayerNorm(num_features, rsqrt)
+        return LayerNorm(num_features)

@@ -1,0 +1,124 @@
+"""Functional operations built on :class:`repro.nn.tensor.Tensor`.
+
+These mirror ``torch.nn.functional`` for the small set of operations the
+miniature Transformer models need: activations, softmax, layer
+normalisation, cross entropy and the LSQ fake-quantization primitives.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+_SQRT_2_OVER_PI = math.sqrt(2.0 / math.pi)
+
+
+def relu(x: Tensor) -> Tensor:
+    """Rectified linear unit."""
+    return x.relu()
+
+
+def gelu(x: Tensor) -> Tensor:
+    """GELU (tanh approximation, differentiable through the graph)."""
+    inner = (x + x * x * x * 0.044715) * _SQRT_2_OVER_PI
+    return x * 0.5 * (inner.tanh() + 1.0)
+
+
+def hswish(x: Tensor) -> Tensor:
+    """Hard swish ``x * relu6(x + 3) / 6``."""
+    return x * (x + 3.0).clip(0.0, 6.0) * (1.0 / 6.0)
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Logistic sigmoid."""
+    return 1.0 / ((-x).exp() + 1.0)
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Tensor:
+    """Layer normalisation over the last dimension."""
+    mean = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    normalised = (x - mean) * ((var + eps) ** -0.5)
+    return normalised * weight + bias
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log-softmax along ``axis``."""
+    shifted = x - x.max(axis=axis, keepdims=True).detach()
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def cross_entropy(
+    logits: Tensor, targets: np.ndarray, ignore_index: Optional[int] = None
+) -> Tensor:
+    """Mean cross-entropy over integer class targets.
+
+    ``logits`` has shape ``(..., num_classes)`` and ``targets`` the matching
+    leading shape.  Pixels equal to ``ignore_index`` are excluded from the
+    mean (the usual semantic-segmentation convention).
+    """
+    targets = np.asarray(targets)
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    flat_targets = targets.reshape(-1)
+    if ignore_index is not None:
+        keep = flat_targets != ignore_index
+        if not np.any(keep):
+            raise ValueError("all targets are ignore_index; loss is undefined")
+        flat_logits = flat_logits[np.where(keep)[0]]
+        flat_targets = flat_targets[keep]
+    log_probs = log_softmax(flat_logits, axis=-1)
+    rows = np.arange(flat_targets.shape[0])
+    picked = log_probs[rows, flat_targets]
+    return -picked.mean()
+
+
+# -- LSQ quantization primitives -------------------------------------------------
+
+
+def lsq_quantize(
+    x: Tensor, scale: Tensor, qmin: int, qmax: int, grad_scale: float = 1.0
+) -> Tensor:
+    """LSQ fake quantization [Esser et al., ICLR 2020].
+
+    ``x`` is divided by the learnable ``scale``, clipped to ``[qmin, qmax]``
+    with straight-through rounding, then multiplied back by the scale.  The
+    LSQ gradient for ``scale`` emerges from this composition of STE ops
+    (clip passes the gradient only inside the interval; outside, the
+    gradient flows to the scale via the boundary terms), matching the
+    published formulation closely enough for fine-tuning.
+    """
+    scaled = x / scale
+    clipped = scaled.clip(qmin, qmax)
+    # Pass-through rounding on the clipped value.
+    rounded = clipped.round_ste()
+    # Re-attach the clipping boundary contribution for out-of-range inputs:
+    # where the input saturates, the quantized value is qmin/qmax * scale and
+    # its derivative w.r.t. scale is qmin/qmax.  The composition below keeps
+    # that dependence because `rounded` is multiplied by `scale` again.
+    if grad_scale != 1.0:
+        scale = scale * grad_scale + scale.detach() * (1.0 - grad_scale)
+    return rounded * scale
+
+
+def power_of_two_scale(alpha: Tensor) -> Tensor:
+    """Snap a learnable positive scale to the nearest power of two (STE).
+
+    Implements ``S = 2^round(log2(alpha))`` of Section 3.1 with a
+    straight-through gradient on the rounding.
+    """
+    log_alpha = alpha.abs().log() * (1.0 / math.log(2.0))
+    exponent = log_alpha.round_ste()
+    # 2^e with gradient through e.
+    return (exponent * math.log(2.0)).exp()

@@ -1,0 +1,156 @@
+"""Training and fine-tuning loops for the segmentation experiments."""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.metrics import mean_iou, pixel_accuracy
+from repro.nn.module import Module
+from repro.nn.optim import Adam, CosineSchedule, Optimizer
+from repro.nn.quantization import quantize_linears_in_place
+from repro.nn.tensor import Tensor, no_grad
+
+
+@dataclasses.dataclass
+class TrainingConfig:
+    """Hyper-parameters of a (fine-)tuning run."""
+
+    epochs: int = 5
+    batch_size: int = 8
+    learning_rate: float = 2e-3
+    weight_decay: float = 0.0
+    seed: int = 0
+    log_every: int = 0  # 0 disables progress printing
+
+
+@dataclasses.dataclass
+class TrainingResult:
+    """Summary of one training run."""
+
+    losses: List[float]
+    train_miou: float
+    val_miou: float
+    val_pixel_accuracy: float
+    epochs: int
+    duration_seconds: float
+
+
+class Trainer:
+    """Mini-batch trainer for the segmentation models.
+
+    The trainer consumes numpy arrays: ``images`` shaped ``(N, H, W, C)`` and
+    integer ``labels`` shaped ``(N, H, W)``.
+    """
+
+    def __init__(self, model: Module, config: TrainingConfig = TrainingConfig()) -> None:
+        self.model = model
+        self.config = config
+        self._rng = np.random.default_rng(config.seed)
+
+    def _batches(self, images: np.ndarray, labels: np.ndarray):
+        count = images.shape[0]
+        order = self._rng.permutation(count)
+        batch = self.config.batch_size
+        for start in range(0, count, batch):
+            idx = order[start:start + batch]
+            yield images[idx], labels[idx]
+
+    def evaluate(self, images: np.ndarray, labels: np.ndarray, num_classes: int) -> Tuple[float, float]:
+        """Return (mIoU, pixel accuracy) on a dataset."""
+        self.model.eval()
+        predictions = []
+        batch = self.config.batch_size
+        with no_grad():
+            for start in range(0, images.shape[0], batch):
+                chunk = images[start:start + batch]
+                logits = self.model(Tensor(chunk))
+                predictions.append(np.argmax(logits.data, axis=-1))
+        self.model.train()
+        predicted = np.concatenate(predictions, axis=0)
+        return (
+            mean_iou(predicted, labels, num_classes),
+            pixel_accuracy(predicted, labels),
+        )
+
+    def fit(
+        self,
+        train_images: np.ndarray,
+        train_labels: np.ndarray,
+        val_images: Optional[np.ndarray] = None,
+        val_labels: Optional[np.ndarray] = None,
+        num_classes: Optional[int] = None,
+        optimizer: Optional[Optimizer] = None,
+    ) -> TrainingResult:
+        """Train the model and evaluate on the validation split."""
+        started = time.time()
+        config = self.config
+        if num_classes is None:
+            num_classes = int(train_labels.max()) + 1
+        optimizer = optimizer or Adam(
+            self.model.parameters(), lr=config.learning_rate, weight_decay=config.weight_decay
+        )
+        steps_per_epoch = max(1, int(np.ceil(train_images.shape[0] / config.batch_size)))
+        schedule = CosineSchedule(optimizer, total_steps=config.epochs * steps_per_epoch)
+
+        losses: List[float] = []
+        self.model.train()
+        for epoch in range(config.epochs):
+            for images, labels in self._batches(train_images, train_labels):
+                logits = self.model(Tensor(images))
+                loss = F.cross_entropy(logits, labels)
+                optimizer.zero_grad()
+                loss.backward()
+                optimizer.step()
+                schedule.step()
+                losses.append(loss.item())
+            if config.log_every and (epoch + 1) % config.log_every == 0:
+                print("epoch %d/%d loss %.4f" % (epoch + 1, config.epochs, losses[-1]))
+
+        train_miou, _ = self.evaluate(train_images, train_labels, num_classes)
+        if val_images is not None and val_labels is not None:
+            val_miou, val_acc = self.evaluate(val_images, val_labels, num_classes)
+        else:
+            val_miou, val_acc = train_miou, float("nan")
+        return TrainingResult(
+            losses=losses,
+            train_miou=train_miou,
+            val_miou=val_miou,
+            val_pixel_accuracy=val_acc,
+            epochs=config.epochs,
+            duration_seconds=time.time() - started,
+        )
+
+
+def prepare_quantized_model(model: Module, bits: int = 8) -> int:
+    """Apply INT8 LSQ quantization to every Linear layer of ``model``.
+
+    Returns the number of layers quantized.  The non-linear operator inputs
+    are quantized separately by the operator suite the model was built with.
+    """
+    return quantize_linears_in_place(model, bits=bits)
+
+
+def transfer_weights(source: Module, target: Module) -> int:
+    """Copy parameters from ``source`` into ``target`` by dotted name.
+
+    Only parameters whose names and shapes match are copied (quantizer
+    scales and pwl-specific parameters are left at their initial values).
+    Returns the number of parameters copied.
+    """
+    source_state = source.state_dict()
+    copied = 0
+    for name, param in target.named_parameters():
+        # Quantized models wrap Linear layers as `<name>.inner.weight`; make
+        # both directions line up by also trying the un-wrapped name.
+        candidates = [name, name.replace(".inner.", ".")]
+        for candidate in candidates:
+            if candidate in source_state and source_state[candidate].shape == param.data.shape:
+                param.data = source_state[candidate].copy()
+                copied += 1
+                break
+    return copied

@@ -1,0 +1,19 @@
+"""Multi-Range Input Scaling for wide-range operators (Section 3.1, Table 2)."""
+
+from repro.scaling.multi_range import (
+    SubRange,
+    MultiRangeScaling,
+    DIV_MULTI_RANGE,
+    RSQRT_MULTI_RANGE,
+    default_multi_range,
+    MultiRangePWL,
+)
+
+__all__ = [
+    "SubRange",
+    "MultiRangeScaling",
+    "DIV_MULTI_RANGE",
+    "RSQRT_MULTI_RANGE",
+    "default_multi_range",
+    "MultiRangePWL",
+]

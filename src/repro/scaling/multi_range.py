@@ -1,0 +1,186 @@
+"""Multi-Range Input Scaling (Section 3.1 and Table 2).
+
+DIV (the Softmax denominator reciprocal) and RSQRT (the LayerNorm inverse
+standard deviation) receive intermediate fixed-point values whose range is
+far wider than the breakpoint interval ``I_R = [R_n, R_p]`` the pwl was
+searched on.  The paper splits the out-of-range region into sub-ranges
+``SR_i = [SR_n_i, SR_p_i)``; inputs falling in ``SR_i`` are rescaled into
+``I_R`` by a manually chosen power-of-two factor ``S'_i`` and the pwl result
+is corrected by ``S'_i`` (DIV) or ``sqrt(S'_i)`` (RSQRT), exploiting
+
+    1 / (x)      = S' * (1 / (S' x))
+    1 / sqrt(x)  = sqrt(S') * (1 / sqrt(S' x))
+
+Table 2 of the paper gives the default sub-range setups reproduced here.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.pwl import PiecewiseLinear
+from repro.functions.nonlinear import NonLinearFunction
+from repro.quant.fxp import fxp_round
+from repro.quant.power_of_two import is_power_of_two
+
+
+@dataclasses.dataclass(frozen=True)
+class SubRange:
+    """One sub-range ``[lower, upper)`` with its power-of-two scale ``S'``."""
+
+    lower: float
+    upper: float
+    scale: float
+
+    def __post_init__(self) -> None:
+        if not self.lower < self.upper:
+            raise ValueError("invalid sub-range [%r, %r)" % (self.lower, self.upper))
+        if self.scale <= 0:
+            raise ValueError("sub-range scale must be positive, got %r" % (self.scale,))
+        if not is_power_of_two(self.scale):
+            raise ValueError("sub-range scale must be a power of two, got %r" % (self.scale,))
+
+    def contains(self, x) -> np.ndarray:
+        arr = np.asarray(x, dtype=np.float64)
+        return (arr >= self.lower) & (arr < self.upper)
+
+
+@dataclasses.dataclass(frozen=True)
+class MultiRangeScaling:
+    """The full Table 2 setup for one wide-range operator.
+
+    Attributes
+    ----------
+    operator:
+        Operator name ("div" or "rsqrt").
+    breakpoint_interval:
+        ``I_R = [R_n, R_p]`` — inputs already inside it bypass rescaling.
+    sub_ranges:
+        The out-of-range pieces and their scales, in ascending order.
+    rescale_power:
+        Output correction exponent: the pwl result is multiplied by
+        ``scale ** rescale_power`` (1.0 for DIV, 0.5 for RSQRT).
+    """
+
+    operator: str
+    breakpoint_interval: Tuple[float, float]
+    sub_ranges: Tuple[SubRange, ...]
+    rescale_power: float
+
+    def __post_init__(self) -> None:
+        lows = [sr.lower for sr in self.sub_ranges]
+        if lows != sorted(lows):
+            raise ValueError("sub-ranges must be sorted by lower bound")
+
+    def classify(self, x) -> np.ndarray:
+        """Return the sub-range index per element (-1 = inside ``I_R``)."""
+        arr = np.asarray(x, dtype=np.float64)
+        out = np.full(arr.shape, -1, dtype=np.int64)
+        for i, sr in enumerate(self.sub_ranges):
+            out[sr.contains(arr)] = i
+        return out
+
+    def rescale_input(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Map inputs into ``I_R`` and return ``(scaled_x, output_factor)``.
+
+        ``output_factor`` is the per-element multiplier to apply to the pwl
+        output (``S'^rescale_power``; 1.0 for in-range inputs).
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        idx = self.classify(arr)
+        scaled = arr.copy()
+        factor = np.ones_like(arr)
+        for i, sr in enumerate(self.sub_ranges):
+            mask = idx == i
+            scaled = np.where(mask, arr * sr.scale, scaled)
+            factor = np.where(mask, sr.scale ** self.rescale_power, factor)
+        return scaled, factor
+
+    def coverage_upper_bound(self) -> float:
+        """Largest input covered (inf when the last sub-range is unbounded)."""
+        if not self.sub_ranges:
+            return self.breakpoint_interval[1]
+        return self.sub_ranges[-1].upper
+
+
+# Table 2: DIV covers I_R=(0.5, 4) plus [4, 32)/2^-3, [32, 256)/2^-6,
+# [256, inf)/2^-6; RSQRT covers I_R=(0.25, 4) plus [4, 64)/2^-4,
+# [64, 1024)/2^-8, [1024, inf)/2^-12.
+DIV_MULTI_RANGE = MultiRangeScaling(
+    operator="div",
+    breakpoint_interval=(0.5, 4.0),
+    sub_ranges=(
+        SubRange(4.0, 32.0, 2.0 ** -3),
+        SubRange(32.0, 256.0, 2.0 ** -6),
+        SubRange(256.0, float("inf"), 2.0 ** -6),
+    ),
+    rescale_power=1.0,
+)
+
+RSQRT_MULTI_RANGE = MultiRangeScaling(
+    operator="rsqrt",
+    breakpoint_interval=(0.25, 4.0),
+    sub_ranges=(
+        SubRange(4.0, 64.0, 2.0 ** -4),
+        SubRange(64.0, 1024.0, 2.0 ** -8),
+        SubRange(1024.0, float("inf"), 2.0 ** -12),
+    ),
+    rescale_power=0.5,
+)
+
+_DEFAULTS = {"div": DIV_MULTI_RANGE, "rsqrt": RSQRT_MULTI_RANGE}
+
+
+def default_multi_range(operator: str) -> MultiRangeScaling:
+    """Return the Table 2 setup for ``operator`` ("div" or "rsqrt")."""
+    key = operator.lower()
+    if key not in _DEFAULTS:
+        raise KeyError(
+            "no default multi-range setup for %r; known: %s"
+            % (operator, ", ".join(sorted(_DEFAULTS)))
+        )
+    return _DEFAULTS[key]
+
+
+@dataclasses.dataclass
+class MultiRangePWL:
+    """A pwl wrapped with multi-range input scaling for wide-range operators.
+
+    The breakpoints and intercepts are rounded to 8-bit FXP with
+    ``frac_bits`` decimal bits (the Table 2 footnote), so the whole unit
+    operates on fixed-point data of the input width.
+    """
+
+    pwl: PiecewiseLinear
+    scaling: MultiRangeScaling
+    frac_bits: int = 5
+    total_bits: int = 8
+
+    def __post_init__(self) -> None:
+        self._fxp_pwl = PiecewiseLinear(
+            breakpoints=fxp_round(self.pwl.breakpoints, self.frac_bits),
+            slopes=fxp_round(self.pwl.slopes, self.frac_bits),
+            intercepts=fxp_round(self.pwl.intercepts, self.frac_bits),
+        )
+
+    @property
+    def fxp_pwl(self) -> PiecewiseLinear:
+        """The fixed-point pwl actually evaluated by the unit."""
+        return self._fxp_pwl
+
+    def __call__(self, x) -> np.ndarray:
+        """Approximate the operator over the full wide input range."""
+        arr = np.asarray(x, dtype=np.float64)
+        scaled, factor = self.scaling.rescale_input(arr)
+        return factor * self._fxp_pwl(scaled)
+
+    def mse(self, function: NonLinearFunction, inputs) -> float:
+        """MSE of the wrapped approximation against the exact operator."""
+        arr = np.asarray(inputs, dtype=np.float64)
+        approx = self(arr)
+        reference = np.asarray(function(arr), dtype=np.float64)
+        return float(np.mean((approx - reference) ** 2))

@@ -1,0 +1,34 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import default_config
+from repro.core.pwl import fit_pwl, uniform_breakpoints
+from repro.functions.registry import get_function
+
+
+@pytest.fixture(scope="session")
+def rng():
+    """A deterministic random generator for tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def gelu_uniform_pwl():
+    """An 8-entry uniform-breakpoint GELU pwl reused across tests."""
+    fn = get_function("gelu")
+    breakpoints = uniform_breakpoints(*fn.search_range, num_entries=8)
+    return fit_pwl(fn.fn, breakpoints, fn.search_range)
+
+
+@pytest.fixture(scope="session")
+def quick_gelu_outcome():
+    """A small GQA-LUT search outcome (GELU, 8 entries) shared by tests."""
+    from repro.core.search import GQALUT
+
+    return GQALUT.for_operator("gelu", num_entries=8, use_rm=True).search(
+        generations=15, population_size=12, seed=0
+    )

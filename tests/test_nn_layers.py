@@ -1,0 +1,304 @@
+"""Tests for modules, layers, attention and quantized layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import functional as F
+from repro.nn.attention import LinearAttention, MultiHeadSelfAttention
+from repro.nn.layers import (
+    GELU,
+    HSwish,
+    MLP,
+    DepthwiseConv2d,
+    Dropout,
+    LayerNorm,
+    Linear,
+    PatchEmbed,
+    ReLU,
+    Upsample,
+)
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.quantization import (
+    LSQQuantizer,
+    PowerOfTwoQuantizer,
+    QuantLinear,
+    quantize_linears_in_place,
+)
+from repro.nn.tensor import Tensor
+from repro.quant.power_of_two import is_power_of_two
+
+
+class TestModuleSystem:
+    def test_parameter_registration(self):
+        class Toy(Module):
+            def __init__(self):
+                super().__init__()
+                self.w = Parameter(np.ones(3))
+                self.child = Linear(2, 2)
+
+        toy = Toy()
+        names = dict(toy.named_parameters())
+        assert "w" in names
+        assert "child.weight" in names
+        assert len(toy.parameters()) == 3  # w, child.weight, child.bias
+
+    def test_state_dict_roundtrip(self):
+        a = Linear(3, 4, rng=np.random.default_rng(0))
+        b = Linear(3, 4, rng=np.random.default_rng(1))
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.weight.data, b.weight.data)
+
+    def test_load_state_dict_shape_mismatch(self):
+        a = Linear(3, 4)
+        b = Linear(3, 5)
+        with pytest.raises((ValueError, KeyError)):
+            b.load_state_dict(a.state_dict())
+
+    def test_train_eval_propagates(self):
+        seq = Sequential(Linear(2, 2), Dropout(0.5))
+        seq.eval()
+        assert all(not m.training for m in seq.modules())
+
+    def test_zero_grad(self):
+        layer = Linear(2, 2)
+        out = layer(Tensor(np.ones((1, 2)))).sum()
+        out.backward()
+        assert layer.weight.grad is not None
+        layer.zero_grad()
+        assert layer.weight.grad is None
+
+    def test_num_parameters(self):
+        layer = Linear(3, 4)
+        assert layer.num_parameters() == 3 * 4 + 4
+
+    def test_sequential_applies_in_order(self):
+        seq = Sequential(ReLU(), GELU())
+        assert len(seq) == 2
+        out = seq(Tensor(np.array([-1.0, 1.0])))
+        assert out.data[0] == pytest.approx(0.0)
+
+
+class TestLayers:
+    def test_linear_shapes_and_grad(self):
+        layer = Linear(5, 3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 7, 5)))
+        out = layer(x)
+        assert out.shape == (2, 7, 3)
+        out.sum().backward()
+        assert layer.weight.grad.shape == (5, 3)
+        assert layer.bias.grad.shape == (3,)
+
+    def test_linear_no_bias(self):
+        layer = Linear(4, 2, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_layernorm_normalises(self):
+        layer = LayerNorm(8)
+        x = Tensor(np.random.default_rng(0).standard_normal((3, 8)) * 5 + 2)
+        out = layer(x)
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+
+    def test_activation_modules(self):
+        x = Tensor(np.linspace(-3, 3, 13))
+        assert GELU()(x).shape == x.shape
+        assert HSwish()(x).shape == x.shape
+        assert np.all(ReLU()(x).data >= 0)
+
+    def test_patch_embed_shapes(self):
+        embed = PatchEmbed(3, 16, patch_size=4, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).random((2, 16, 16, 3)))
+        out = embed(x)
+        assert out.shape == (2, 16, 16)  # (B, 4*4 patches, 16 dims)
+
+    def test_patch_embed_rejects_indivisible(self):
+        embed = PatchEmbed(3, 16, patch_size=5)
+        with pytest.raises(ValueError):
+            embed(Tensor(np.zeros((1, 16, 16, 3))))
+
+    def test_patch_embed_preserves_patch_content(self):
+        """Each token must depend only on its own patch."""
+        embed = PatchEmbed(1, 4, patch_size=2, rng=np.random.default_rng(0))
+        base = np.zeros((1, 4, 4, 1))
+        modified = base.copy()
+        modified[0, 2:, 2:, 0] = 1.0  # bottom-right patch only
+        out_base = embed(Tensor(base)).data
+        out_mod = embed(Tensor(modified)).data
+        changed = np.any(np.abs(out_base - out_mod) > 1e-12, axis=-1)[0]
+        assert changed.tolist() == [False, False, False, True]
+
+    def test_depthwise_conv_shape_and_grad(self):
+        conv = DepthwiseConv2d(3, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).random((2, 6, 6, 3)), requires_grad=True)
+        out = conv(x)
+        assert out.shape == (2, 6, 6, 3)
+        out.sum().backward()
+        assert conv.weight.grad.shape == (3, 3, 3)
+        assert x.grad.shape == x.shape
+
+    def test_depthwise_conv_identity_kernel(self):
+        conv = DepthwiseConv2d(2)
+        conv.weight.data = np.zeros((3, 3, 2))
+        conv.weight.data[1, 1, :] = 1.0  # centre tap only
+        conv.bias.data = np.zeros(2)
+        x = np.random.default_rng(0).random((1, 5, 5, 2))
+        np.testing.assert_allclose(conv(Tensor(x)).data, x, atol=1e-12)
+
+    def test_depthwise_conv_channel_mismatch(self):
+        conv = DepthwiseConv2d(3)
+        with pytest.raises(ValueError):
+            conv(Tensor(np.zeros((1, 4, 4, 5))))
+
+    def test_upsample_nearest(self):
+        up = Upsample(2)
+        x = np.arange(4).reshape(1, 2, 2, 1).astype(float)
+        out = up(Tensor(x)).data
+        assert out.shape == (1, 4, 4, 1)
+        assert out[0, 0, 0, 0] == out[0, 1, 1, 0] == 0.0
+        assert out[0, 2, 2, 0] == 3.0
+
+    def test_upsample_factor_one_is_identity(self):
+        x = Tensor(np.random.default_rng(0).random((1, 3, 3, 2)))
+        assert Upsample(1)(x) is x
+
+    def test_dropout_eval_is_identity(self):
+        drop = Dropout(0.5)
+        drop.eval()
+        x = Tensor(np.ones((4, 4)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_masks(self):
+        drop = Dropout(0.5, rng=np.random.default_rng(0))
+        x = Tensor(np.ones((100, 100)))
+        out = drop(x).data
+        assert np.any(out == 0.0)
+        assert out.mean() == pytest.approx(1.0, abs=0.1)
+
+    def test_dropout_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+    def test_mlp_shapes(self):
+        mlp = MLP(8, 16, rng=np.random.default_rng(0))
+        out = mlp(Tensor(np.random.default_rng(1).standard_normal((2, 5, 8))))
+        assert out.shape == (2, 5, 8)
+
+
+class TestAttention:
+    def test_softmax_attention_shapes_and_grad(self):
+        attn = MultiHeadSelfAttention(8, num_heads=2, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 6, 8)), requires_grad=True)
+        out = attn(x)
+        assert out.shape == (2, 6, 8)
+        out.sum().backward()
+        assert x.grad.shape == x.shape
+
+    def test_softmax_attention_hooks_are_used(self):
+        calls = {"exp": 0, "recip": 0}
+
+        def exp_hook(t):
+            calls["exp"] += 1
+            return t.exp()
+
+        def recip_hook(t):
+            calls["recip"] += 1
+            return 1.0 / t
+
+        attn = MultiHeadSelfAttention(4, num_heads=1, rng=np.random.default_rng(0),
+                                      exp_fn=exp_hook, reciprocal_fn=recip_hook)
+        attn(Tensor(np.random.default_rng(1).standard_normal((1, 3, 4))))
+        assert calls["exp"] == 1 and calls["recip"] == 1
+
+    def test_softmax_attention_rows_normalised(self):
+        """With default hooks the attention weights must sum to one, which we
+        verify indirectly: a constant value tensor must be reproduced."""
+        attn = MultiHeadSelfAttention(4, num_heads=1, rng=np.random.default_rng(0))
+        # Make V projection identity-ish by probing with constant values.
+        x = Tensor(np.ones((1, 5, 4)))
+        out = attn(x)
+        # All tokens identical input -> all tokens identical output.
+        assert np.allclose(out.data[0, 0], out.data[0, 1])
+
+    def test_dim_must_divide_heads(self):
+        with pytest.raises(ValueError):
+            MultiHeadSelfAttention(6, num_heads=4)
+        with pytest.raises(ValueError):
+            LinearAttention(6, num_heads=4)
+
+    def test_linear_attention_shapes_and_grad(self):
+        attn = LinearAttention(8, num_heads=2, rng=np.random.default_rng(0))
+        x = Tensor(np.random.default_rng(1).standard_normal((2, 6, 8)), requires_grad=True)
+        out = attn(x)
+        assert out.shape == (2, 6, 8)
+        out.sum().backward()
+        assert x.grad.shape == x.shape
+
+    def test_linear_attention_reciprocal_hook(self):
+        calls = {"recip": 0}
+
+        def recip_hook(t):
+            calls["recip"] += 1
+            return 1.0 / t
+
+        attn = LinearAttention(4, num_heads=1, rng=np.random.default_rng(0),
+                               reciprocal_fn=recip_hook)
+        attn(Tensor(np.random.default_rng(1).standard_normal((1, 3, 4))))
+        assert calls["recip"] == 1
+
+
+class TestQuantizationLayers:
+    def test_lsq_initialises_from_first_batch(self):
+        quant = LSQQuantizer(bits=8)
+        x = Tensor(np.random.default_rng(0).standard_normal((4, 4)))
+        quant(x)
+        assert quant._initialised
+        assert quant.current_scale() > 0
+
+    def test_lsq_roundtrip_error_bounded(self):
+        quant = LSQQuantizer(bits=8)
+        x = np.random.default_rng(0).standard_normal((32, 32))
+        out = quant(Tensor(x)).data
+        assert np.max(np.abs(out - x)) < 4 * quant.current_scale()
+
+    def test_lsq_scale_gets_gradient(self):
+        quant = LSQQuantizer(bits=8)
+        x = Tensor(np.random.default_rng(0).standard_normal((8, 8)))
+        quant(x).sum().backward()
+        assert quant.scale.grad is not None
+
+    def test_power_of_two_quantizer_scale_is_power_of_two(self):
+        quant = PowerOfTwoQuantizer(bits=8)
+        x = Tensor(np.random.default_rng(0).standard_normal((16, 16)) * 0.7)
+        quant(x)
+        assert is_power_of_two(quant.current_scale())
+        assert isinstance(quant.current_exponent(), int)
+
+    def test_quant_linear_from_float_preserves_weights(self):
+        linear = Linear(4, 3, rng=np.random.default_rng(0))
+        quant = QuantLinear.from_float(linear)
+        np.testing.assert_allclose(quant.weight.data, linear.weight.data)
+
+    def test_quant_linear_output_close_to_float(self):
+        rng = np.random.default_rng(0)
+        linear = Linear(8, 8, rng=rng)
+        quant = QuantLinear.from_float(linear)
+        x = Tensor(rng.standard_normal((4, 8)))
+        float_out = linear(x).data
+        quant_out = quant(x).data
+        assert np.max(np.abs(float_out - quant_out)) < 0.5
+
+    def test_quantize_linears_in_place(self):
+        model = Sequential(Linear(4, 4), GELU(), Linear(4, 2))
+        replaced = quantize_linears_in_place(model)
+        assert replaced == 2
+        layers = list(model)
+        # The Sequential keeps its original object list, but the registered
+        # children are now QuantLinear.
+        assert isinstance(model._modules["layer0"], QuantLinear)
+        assert isinstance(model._modules["layer2"], QuantLinear)
+
+    def test_quantize_linears_idempotent_on_quantlinear(self):
+        model = Sequential(Linear(4, 4))
+        quantize_linears_in_place(model)
+        again = quantize_linears_in_place(model)
+        assert again == 0

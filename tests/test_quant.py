@@ -1,0 +1,272 @@
+"""Tests for the quantization substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    DyadicNumber,
+    FixedPointFormat,
+    MinMaxObserver,
+    MovingAverageObserver,
+    QuantSpec,
+    UniformQuantizer,
+    dequantize,
+    dyadic_rescale,
+    fxp_round,
+    from_fixed_point,
+    mae,
+    max_abs_error,
+    mse,
+    nearest_power_of_two,
+    normalized_mse,
+    power_of_two_exponent,
+    quant_bounds,
+    quantize,
+    required_integer_bits,
+    rmse,
+    shift_for_scale,
+    sqnr_db,
+    to_dyadic,
+    to_fixed_point,
+)
+from repro.quant.power_of_two import apply_shift, is_power_of_two
+
+
+class TestQuantBounds:
+    def test_int8_signed(self):
+        assert quant_bounds(8, True) == (-128, 127)
+
+    def test_int8_unsigned(self):
+        assert quant_bounds(8, False) == (0, 255)
+
+    def test_int16(self):
+        assert quant_bounds(16, True) == (-32768, 32767)
+
+    def test_rejects_tiny_bitwidth(self):
+        with pytest.raises(ValueError):
+            quant_bounds(1)
+
+
+class TestQuantizeDequantize:
+    def test_roundtrip_on_grid_is_exact(self):
+        scale = 0.25
+        values = np.arange(-128, 128) * scale
+        codes = quantize(values, scale)
+        np.testing.assert_allclose(dequantize(codes, scale), values)
+
+    def test_clipping_at_bounds(self):
+        codes = quantize([1000.0, -1000.0], scale=1.0, bits=8)
+        np.testing.assert_array_equal(codes, [127, -128])
+
+    def test_rejects_nonpositive_scale(self):
+        with pytest.raises(ValueError):
+            quantize([1.0], 0.0)
+        with pytest.raises(ValueError):
+            dequantize([1.0], -1.0)
+
+    @given(st.floats(-100, 100), st.sampled_from([1.0, 0.5, 0.25, 0.125, 0.0625]))
+    @settings(max_examples=200, deadline=None)
+    def test_quantization_error_bounded_by_half_scale(self, value, scale):
+        code = quantize(value, scale, bits=16)
+        reconstructed = dequantize(code, scale)
+        # Within the representable range the error is at most scale / 2.
+        lo, hi = -32768 * scale, 32767 * scale
+        if lo <= value <= hi:
+            assert abs(reconstructed - value) <= scale / 2 + 1e-12
+
+
+class TestUniformQuantizer:
+    def test_grid_has_all_levels(self):
+        q = UniformQuantizer(0.5, QuantSpec(bits=8, signed=True))
+        grid = q.grid()
+        assert grid.shape == (256,)
+        assert grid[0] == pytest.approx(-64.0)
+        assert grid[-1] == pytest.approx(63.5)
+
+    def test_from_range_symmetric(self):
+        q = UniformQuantizer.from_range(-3.0, 3.0)
+        lo, hi = q.representable_range()
+        assert lo <= -3.0 <= hi or lo <= 3.0 <= hi
+        assert q.scale == pytest.approx(3.0 / 128)
+
+    def test_from_range_unsigned_rejects_negative(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer.from_range(-1.0, 1.0, QuantSpec(bits=8, signed=False))
+
+    def test_power_of_two_spec_snaps_scale(self):
+        q = UniformQuantizer(0.3, QuantSpec(bits=8, signed=True, power_of_two_scale=True))
+        assert is_power_of_two(q.scale)
+
+    def test_roundtrip_idempotent(self):
+        q = UniformQuantizer(0.1)
+        x = np.linspace(-5, 5, 100)
+        once = q.roundtrip(x)
+        twice = q.roundtrip(once)
+        np.testing.assert_allclose(once, twice)
+
+    def test_integer_dtype_selection(self):
+        assert QuantSpec(8, True).integer_dtype() == np.dtype(np.int8)
+        assert QuantSpec(16, True).integer_dtype() == np.dtype(np.int16)
+        assert QuantSpec(32, True).integer_dtype() == np.dtype(np.int32)
+        assert QuantSpec(8, False).integer_dtype() == np.dtype(np.uint8)
+
+
+class TestPowerOfTwo:
+    def test_nearest_power_of_two(self):
+        assert nearest_power_of_two(0.3) == pytest.approx(0.25)
+        assert nearest_power_of_two(0.75) == pytest.approx(1.0)
+        assert nearest_power_of_two(3.0) == pytest.approx(4.0)
+
+    def test_exponent_matches_log2(self):
+        assert power_of_two_exponent(0.25) == -2
+        assert power_of_two_exponent(8.0) == 3
+
+    def test_shift_for_scale(self):
+        assert shift_for_scale(0.25) == -2
+        assert shift_for_scale(4.0) == 2
+
+    def test_shift_for_non_power_raises(self):
+        with pytest.raises(ValueError):
+            shift_for_scale(0.3)
+
+    def test_apply_shift_matches_division(self):
+        values = np.array([1.0, -2.0, 3.5])
+        np.testing.assert_allclose(apply_shift(values, -3), values * 8.0)
+        np.testing.assert_allclose(apply_shift(values, 2), values / 4.0)
+
+    @given(st.integers(-10, 10))
+    @settings(max_examples=50, deadline=None)
+    def test_powers_of_two_are_fixed_points(self, exponent):
+        scale = 2.0 ** exponent
+        assert nearest_power_of_two(scale) == pytest.approx(scale)
+        assert is_power_of_two(scale)
+
+
+class TestFixedPoint:
+    def test_fxp_round_matches_formula(self):
+        x = np.array([0.1, 0.2, -0.37])
+        np.testing.assert_allclose(fxp_round(x, 5), np.round(x * 32) / 32)
+
+    def test_roundtrip_codes(self):
+        x = np.array([0.5, -1.25, 3.0])
+        codes = to_fixed_point(x, 4)
+        np.testing.assert_allclose(from_fixed_point(codes, 4), x)
+
+    def test_required_integer_bits(self):
+        assert required_integer_bits([0.7]) == 0
+        assert required_integer_bits([1.2]) == 1
+        assert required_integer_bits([-5.0]) == 3
+        assert required_integer_bits([]) == 0
+
+    def test_format_resolution_and_bounds(self):
+        fmt = FixedPointFormat(integer_bits=2, frac_bits=5)
+        assert fmt.total_bits == 8
+        assert fmt.resolution == pytest.approx(1 / 32)
+        assert fmt.max_value == pytest.approx(4 - 1 / 32)
+        assert fmt.min_value == pytest.approx(-4.0)
+
+    def test_format_quantize_saturates(self):
+        fmt = FixedPointFormat(integer_bits=2, frac_bits=5)
+        assert fmt.quantize(100.0) == pytest.approx(fmt.max_value)
+        assert fmt.quantize(-100.0) == pytest.approx(fmt.min_value)
+
+    def test_format_for_values(self):
+        fmt = FixedPointFormat.for_values([3.7, -1.0], frac_bits=5)
+        assert fmt.integer_bits == 2
+
+    @given(st.floats(-3.9, 3.9), st.integers(1, 10))
+    @settings(max_examples=200, deadline=None)
+    def test_fxp_round_error_bound(self, value, frac_bits):
+        rounded = float(fxp_round(value, frac_bits))
+        assert abs(rounded - value) <= 2.0 ** (-frac_bits) / 2 + 1e-12
+
+    def test_negative_frac_bits_rejected(self):
+        with pytest.raises(ValueError):
+            fxp_round(1.0, -1)
+
+
+class TestDyadic:
+    def test_value_reconstruction(self):
+        d = DyadicNumber(mantissa=3, exponent=2)
+        assert d.value == pytest.approx(0.75)
+
+    def test_to_dyadic_accuracy(self):
+        for value in (0.1, 0.33, 1.7, 123.4):
+            d = to_dyadic(value, bits=16)
+            assert d.value == pytest.approx(value, rel=1e-4)
+
+    def test_to_dyadic_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            to_dyadic(0.0)
+
+    def test_multiply_close_to_float(self):
+        x = np.arange(-100, 100, dtype=np.float64)
+        result = dyadic_rescale(x, 0.37)
+        np.testing.assert_allclose(result, np.round(x * 0.37), atol=1.0)
+
+
+class TestObservers:
+    def test_minmax_tracks_extremes(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, -2.0]))
+        obs.observe(np.array([5.0]))
+        assert obs.observed_range == (-2.0, 5.0)
+
+    def test_minmax_quantizer_covers_range(self):
+        obs = MinMaxObserver()
+        obs.observe(np.linspace(-3, 7, 50))
+        q = obs.make_quantizer()
+        lo, hi = q.representable_range()
+        assert hi >= 7.0 - q.scale
+
+    def test_observer_without_data_raises(self):
+        with pytest.raises(RuntimeError):
+            MinMaxObserver().observed_range
+
+    def test_moving_average_smooths(self):
+        obs = MovingAverageObserver(momentum=0.5)
+        obs.observe(np.array([0.0, 1.0]))
+        obs.observe(np.array([0.0, 3.0]))
+        assert obs.observed_range[1] == pytest.approx(2.0)
+
+    def test_moving_average_bad_momentum(self):
+        with pytest.raises(ValueError):
+            MovingAverageObserver(momentum=1.5)
+
+
+class TestMetrics:
+    def test_mse_zero_for_identical(self):
+        x = np.linspace(0, 1, 10)
+        assert mse(x, x) == 0.0
+
+    def test_mse_and_rmse_consistent(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([2.0, 4.0])
+        assert rmse(a, b) == pytest.approx(np.sqrt(mse(a, b)))
+
+    def test_mae_and_max_error(self):
+        a = np.array([0.0, 0.0])
+        b = np.array([1.0, 3.0])
+        assert mae(a, b) == pytest.approx(2.0)
+        assert max_abs_error(a, b) == pytest.approx(3.0)
+
+    def test_normalized_mse_scale_invariant(self):
+        a = np.array([1.0, 2.0, 3.0])
+        b = a * 1.01
+        assert normalized_mse(a * 10, b * 10) == pytest.approx(normalized_mse(a, b), rel=1e-6)
+
+    def test_sqnr_increases_with_accuracy(self):
+        ref = np.linspace(1, 2, 100)
+        good = ref + 1e-4
+        bad = ref + 1e-1
+        assert sqnr_db(good, ref) > sqnr_db(bad, ref)
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.zeros(3), np.zeros(4))
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mse(np.array([]), np.array([]))

@@ -1,0 +1,266 @@
+"""Tests for the numpy autograd engine, checked against numerical gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import functional as F
+from repro.nn.tensor import Tensor, concatenate, no_grad, ones, randn, tensor, zeros
+
+
+def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
+    """Central-difference gradient of a scalar-valued fn wrt x."""
+    grad = np.zeros_like(x, dtype=np.float64)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        original = x[idx]
+        x[idx] = original + eps
+        plus = fn(x)
+        x[idx] = original - eps
+        minus = fn(x)
+        x[idx] = original
+        grad[idx] = (plus - minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_gradient(op, shape=(3, 4), seed=0, atol=1e-4):
+    """Compare autograd and numerical gradients for a tensor->scalar op."""
+    rng = np.random.default_rng(seed)
+    data = rng.standard_normal(shape)
+    t = Tensor(data.copy(), requires_grad=True)
+    out = op(t)
+    out.backward()
+
+    def scalar_fn(arr):
+        return float(op(Tensor(arr.copy())).data)
+
+    expected = numerical_grad(scalar_fn, data.copy())
+    np.testing.assert_allclose(t.grad, expected, atol=atol)
+
+
+class TestBasicOps:
+    def test_add_mul_forward(self):
+        a = Tensor([1.0, 2.0])
+        b = Tensor([3.0, 4.0])
+        np.testing.assert_allclose((a + b).data, [4.0, 6.0])
+        np.testing.assert_allclose((a * b).data, [3.0, 8.0])
+
+    def test_scalar_arithmetic(self):
+        a = Tensor([1.0, 2.0])
+        np.testing.assert_allclose((a + 1.0).data, [2.0, 3.0])
+        np.testing.assert_allclose((2.0 * a).data, [2.0, 4.0])
+        np.testing.assert_allclose((1.0 - a).data, [0.0, -1.0])
+        np.testing.assert_allclose((a / 2.0).data, [0.5, 1.0])
+        np.testing.assert_allclose((1.0 / a).data, [1.0, 0.5])
+
+    def test_gradients_of_elementary_ops(self):
+        check_gradient(lambda t: (t * t).sum())
+        check_gradient(lambda t: (t + 2.0 * t).sum())
+        check_gradient(lambda t: (t / 3.0).sum())
+        check_gradient(lambda t: (t ** 3.0).mean())
+
+    def test_matmul_gradient(self):
+        rng = np.random.default_rng(0)
+        w = rng.standard_normal((4, 2))
+        check_gradient(lambda t: (t @ Tensor(w)).sum())
+
+    def test_batched_matmul_forward(self):
+        rng = np.random.default_rng(0)
+        a = rng.standard_normal((2, 3, 4))
+        b = rng.standard_normal((2, 4, 5))
+        out = Tensor(a) @ Tensor(b)
+        np.testing.assert_allclose(out.data, a @ b)
+
+    def test_broadcast_add_gradient(self):
+        rng = np.random.default_rng(1)
+        bias = Tensor(rng.standard_normal(4), requires_grad=True)
+        x = Tensor(rng.standard_normal((3, 4)))
+        out = (x + bias).sum()
+        out.backward()
+        np.testing.assert_allclose(bias.grad, np.full(4, 3.0))
+
+    def test_reused_tensor_accumulates_gradient(self):
+        x = Tensor([2.0], requires_grad=True)
+        out = (x * x) + x
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(x.grad, [5.0])
+
+    def test_exp_log_sqrt_tanh_gradients(self):
+        check_gradient(lambda t: t.exp().sum())
+        check_gradient(lambda t: (t.abs() + 1.0).log().sum())
+        check_gradient(lambda t: (t.abs() + 0.5).sqrt().sum())
+        check_gradient(lambda t: t.tanh().sum())
+
+    def test_relu_and_clip_gradients(self):
+        check_gradient(lambda t: t.relu().sum())
+        check_gradient(lambda t: t.clip(-0.5, 0.5).sum(), seed=3)
+
+    def test_clip_ste_passes_gradient(self):
+        x = Tensor([10.0, -10.0], requires_grad=True)
+        x.clip_ste(-1, 1).sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+
+    def test_round_ste_passes_gradient(self):
+        x = Tensor([0.4, 0.6], requires_grad=True)
+        x.round_ste().sum().backward()
+        np.testing.assert_allclose(x.grad, [1.0, 1.0])
+        np.testing.assert_allclose(x.round_ste().data, [0.0, 1.0])
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip(self):
+        check_gradient(lambda t: t.reshape(2, 6).sum(), shape=(3, 4))
+
+    def test_transpose_gradient(self):
+        check_gradient(lambda t: (t.transpose(1, 0) * Tensor(np.ones((4, 3)))).sum())
+
+    def test_swapaxes(self):
+        x = Tensor(np.arange(24).reshape(2, 3, 4))
+        assert x.swapaxes(1, 2).shape == (2, 4, 3)
+
+    def test_getitem_gradient(self):
+        check_gradient(lambda t: t[1:3].sum(), shape=(5, 2))
+
+    def test_concatenate_forward_and_grad(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(2 * np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        assert out.shape == (5, 2)
+        out.sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((2, 2)))
+        np.testing.assert_allclose(b.grad, np.ones((3, 2)))
+
+
+class TestReductions:
+    def test_sum_keepdims(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient(self):
+        check_gradient(lambda t: t.mean())
+        check_gradient(lambda t: t.mean(axis=1).sum())
+
+    def test_var_matches_numpy(self):
+        rng = np.random.default_rng(0)
+        data = rng.standard_normal((4, 6))
+        out = Tensor(data).var(axis=-1)
+        np.testing.assert_allclose(out.data, data.var(axis=-1), atol=1e-12)
+
+    def test_var_gradient(self):
+        check_gradient(lambda t: t.var(axis=-1).sum(), atol=1e-3)
+
+    def test_max_gradient_flows_to_argmax(self):
+        x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
+        x.max(axis=-1).sum().backward()
+        np.testing.assert_allclose(x.grad, [[0.0, 1.0, 0.0]])
+
+
+class TestFunctional:
+    def test_softmax_rows_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((5, 7)))
+        probs = F.softmax(x)
+        np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0, atol=1e-12)
+
+    def test_softmax_gradient(self):
+        check_gradient(lambda t: (F.softmax(t) * Tensor(np.arange(4.0))).sum(), atol=1e-4)
+
+    def test_gelu_close_to_exact(self):
+        from repro.functions.nonlinear import gelu as exact_gelu
+
+        x = np.linspace(-4, 4, 101)
+        approx = F.gelu(Tensor(x)).data
+        assert np.max(np.abs(approx - exact_gelu(x))) < 5e-3
+
+    def test_hswish_matches_reference(self):
+        from repro.functions.nonlinear import hswish as exact
+
+        x = np.linspace(-5, 5, 101)
+        np.testing.assert_allclose(F.hswish(Tensor(x)).data, exact(x), atol=1e-12)
+
+    def test_layer_norm_statistics(self):
+        rng = np.random.default_rng(0)
+        x = Tensor(rng.standard_normal((4, 10)) * 3 + 1)
+        out = F.layer_norm(x, Tensor(np.ones(10)), Tensor(np.zeros(10)))
+        np.testing.assert_allclose(out.data.mean(axis=-1), 0.0, atol=1e-7)
+        np.testing.assert_allclose(out.data.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_cross_entropy_matches_manual(self):
+        logits = Tensor(np.array([[2.0, 0.0], [0.0, 2.0]]))
+        targets = np.array([0, 0])
+        loss = F.cross_entropy(logits, targets)
+        p0 = np.exp(2.0) / (np.exp(2.0) + 1.0)
+        p1 = 1.0 / (np.exp(2.0) + 1.0)
+        expected = -0.5 * (np.log(p0) + np.log(p1))
+        assert loss.item() == pytest.approx(expected, abs=1e-9)
+
+    def test_cross_entropy_ignore_index(self):
+        logits = Tensor(np.zeros((3, 2)))
+        targets = np.array([0, 1, 255])
+        loss = F.cross_entropy(logits, targets, ignore_index=255)
+        assert loss.item() == pytest.approx(np.log(2.0))
+
+    def test_cross_entropy_all_ignored_raises(self):
+        with pytest.raises(ValueError):
+            F.cross_entropy(Tensor(np.zeros((2, 2))), np.array([9, 9]), ignore_index=9)
+
+    def test_lsq_quantize_forward_grid(self):
+        x = Tensor(np.linspace(-2, 2, 9))
+        scale = Tensor([0.5], requires_grad=True)
+        out = F.lsq_quantize(x, scale, -4, 3)
+        np.testing.assert_allclose(out.data, np.clip(np.round(x.data / 0.5), -4, 3) * 0.5)
+
+    def test_lsq_scale_receives_gradient(self):
+        x = Tensor(np.array([0.3, 1.7, -2.5]))
+        scale = Tensor([0.5], requires_grad=True)
+        F.lsq_quantize(x, scale, -4, 3).sum().backward()
+        assert scale.grad is not None
+        assert np.any(scale.grad != 0)
+
+    def test_power_of_two_scale_snaps(self):
+        alpha = Tensor([0.3], requires_grad=True)
+        s = F.power_of_two_scale(alpha)
+        assert s.data[0] == pytest.approx(0.25)
+        s.backward()
+        assert alpha.grad is not None
+
+
+class TestGraphControl:
+    def test_no_grad_disables_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        with no_grad():
+            y = x * 2.0
+        assert not y.requires_grad
+
+    def test_detach_cuts_graph(self):
+        x = Tensor([1.0], requires_grad=True)
+        y = x.detach() * 3.0
+        assert not y.requires_grad
+
+    def test_backward_requires_scalar_or_grad(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (x * 2).backward()
+
+    def test_backward_on_non_grad_tensor_raises(self):
+        with pytest.raises(RuntimeError):
+            Tensor([1.0]).backward()
+
+    def test_constructors(self):
+        assert zeros((2, 2)).data.sum() == 0
+        assert ones((2, 2)).data.sum() == 4
+        assert randn((3, 3), rng=np.random.default_rng(0)).shape == (3, 3)
+        assert tensor([1, 2]).shape == (2,)
+
+    @given(st.integers(2, 6), st.integers(2, 6))
+    @settings(max_examples=20, deadline=None)
+    def test_linear_chain_gradient_matches_analytic(self, n, m):
+        rng = np.random.default_rng(n * 10 + m)
+        w = rng.standard_normal((n, m))
+        x = Tensor(rng.standard_normal((4, n)), requires_grad=True)
+        out = (x @ Tensor(w)).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.tile(w.sum(axis=1), (4, 1)), atol=1e-9)
