@@ -36,9 +36,12 @@ from repro.core import (
     GQALUT,
     SearchOutcome,
     PiecewiseLinear,
+    PiecewiseLinearBatch,
     fit_pwl,
+    fit_pwl_batch,
     LUT,
     QuantizedLUT,
+    QuantizedLUTBatch,
     GeneticSearch,
     GASettings,
     RoundingMutation,
@@ -59,9 +62,12 @@ __all__ = [
     "GQALUT",
     "SearchOutcome",
     "PiecewiseLinear",
+    "PiecewiseLinearBatch",
     "fit_pwl",
+    "fit_pwl_batch",
     "LUT",
     "QuantizedLUT",
+    "QuantizedLUTBatch",
     "GeneticSearch",
     "GASettings",
     "RoundingMutation",

@@ -11,8 +11,14 @@ Public entry points:
   API combining all of the above with the Table 1 presets.
 """
 
-from repro.core.pwl import PiecewiseLinear, fit_pwl, uniform_breakpoints
-from repro.core.lut import LUT, LUTEntry, QuantizedLUT
+from repro.core.pwl import (
+    PiecewiseLinear,
+    PiecewiseLinearBatch,
+    fit_pwl,
+    fit_pwl_batch,
+    uniform_breakpoints,
+)
+from repro.core.lut import LUT, LUTEntry, QuantizedLUT, QuantizedLUTBatch
 from repro.core.fitness import (
     GridMSEFitness,
     QuantizedMSEFitness,
@@ -40,11 +46,14 @@ from repro.core.evaluation import (
 
 __all__ = [
     "PiecewiseLinear",
+    "PiecewiseLinearBatch",
     "fit_pwl",
+    "fit_pwl_batch",
     "uniform_breakpoints",
     "LUT",
     "LUTEntry",
     "QuantizedLUT",
+    "QuantizedLUTBatch",
     "GridMSEFitness",
     "QuantizedMSEFitness",
     "FitnessFunction",

@@ -21,8 +21,8 @@ from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.lut import QuantizedLUT
-from repro.core.pwl import PiecewiseLinear
+from repro.core.lut import QuantizedLUT, QuantizedLUTBatch
+from repro.core.pwl import PiecewiseLinear, PiecewiseLinearBatch
 from repro.functions.nonlinear import NonLinearFunction
 from repro.quant.quantizer import QuantSpec, quant_bounds
 
@@ -96,6 +96,37 @@ class QuantizedPWLEvaluator:
         """Average MSE over the scale sweep (the Table 3 statistic)."""
         values = self.sweep(pwl, scales)
         return float(np.mean(list(values.values())))
+
+    def mse_matrix(
+        self, pwls: PiecewiseLinearBatch, scales: Sequence[float] = DEFAULT_SCALES
+    ) -> np.ndarray:
+        """Quantized-pipeline MSE for a pwl population: an ``(S, P)`` matrix.
+
+        Entry ``[s, p]`` equals ``mse_at_scale(pwls.row(p), scales[s])``; the
+        lookup for each scale runs as one ``(P, C)`` broadcast through
+        :class:`QuantizedLUTBatch`, so comparing many candidate pwls (e.g. a
+        final GA population, or one operator across entry counts) costs a
+        handful of array ops instead of ``S x P`` scalar sweeps.
+        """
+        scale_list = [float(s) for s in scales]
+        out = np.empty((len(scale_list), pwls.population_size), dtype=np.float64)
+        for s_idx, scale in enumerate(scale_list):
+            codes, x = self.grid_for_scale(scale)
+            if x.size == 0:
+                raise ValueError("evaluation grid is empty for scale %r" % (scale,))
+            lut = QuantizedLUTBatch(
+                pwl=pwls, scales=np.array([scale]), spec=self.spec, frac_bits=self.frac_bits
+            )
+            approx = lut.lookup_dequantized(codes)[0]
+            reference = np.asarray(self.function(x), dtype=np.float64)
+            out[s_idx] = np.mean((approx - reference[None, :]) ** 2, axis=1)
+        return out
+
+    def average_mse_batch(
+        self, pwls: PiecewiseLinearBatch, scales: Sequence[float] = DEFAULT_SCALES
+    ) -> np.ndarray:
+        """Per-individual average MSE over the scale sweep: a ``(P,)`` vector."""
+        return self.mse_matrix(pwls, scales).mean(axis=0)
 
 
 def evaluate_operator_mse(

@@ -15,8 +15,8 @@ from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.lut import QuantizedLUT
-from repro.core.pwl import fit_pwl
+from repro.core.lut import QuantizedLUT, QuantizedLUTBatch
+from repro.core.pwl import PiecewiseLinearBatch, fit_pwl, fit_pwl_batch
 from repro.functions.nonlinear import NonLinearFunction
 from repro.quant.quantizer import QuantSpec, quant_bounds
 
@@ -26,6 +26,19 @@ class FitnessFunction:
 
     def __call__(self, breakpoints: np.ndarray) -> float:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def batch_call(self, population: np.ndarray) -> np.ndarray:
+        """Score a ``(P, N - 1)`` population matrix; returns ``(P,)`` scores.
+
+        The default falls back to one scalar ``__call__`` per row, so custom
+        fitness functions work with the batched genetic engine unchanged;
+        subclasses override this with a true vectorized implementation.
+        Entry ``i`` must equal ``self(population[i])`` bit-for-bit — the
+        batched and per-individual engines of
+        :class:`repro.core.genetic.GeneticSearch` rely on it.
+        """
+        pop = np.asarray(population, dtype=np.float64)
+        return np.array([float(self(row)) for row in pop], dtype=np.float64)
 
 
 @dataclasses.dataclass
@@ -76,6 +89,24 @@ class GridMSEFitness(FitnessFunction):
         approx = pwl(self._grid)
         return float(np.mean((approx - self._reference) ** 2))
 
+    def build_batch(self, population: np.ndarray) -> PiecewiseLinearBatch:
+        """Fit the whole population in one shot (row ``i`` == ``build(row_i)``)."""
+        pwls = fit_pwl_batch(
+            self.function.fn,
+            population,
+            self.function.search_range,
+            method=self.fit_method,
+        )
+        if self.frac_bits is not None:
+            pwls = pwls.to_fixed_point(self.frac_bits)
+        return pwls
+
+    def batch_call(self, population: np.ndarray) -> np.ndarray:
+        """Grid MSE of every individual as one ``(P, G)`` array op."""
+        pwls = self.build_batch(np.asarray(population, dtype=np.float64))
+        approx = pwls(self._grid)
+        return np.mean((approx - self._reference[None, :]) ** 2, axis=1)
+
 
 @dataclasses.dataclass
 class QuantizedMSEFitness(FitnessFunction):
@@ -119,4 +150,47 @@ class QuantizedMSEFitness(FitnessFunction):
             approx = lut.lookup_dequantized(codes)
             reference = np.asarray(self.function(x), dtype=np.float64)
             total += float(np.mean((approx - reference) ** 2))
+        return total / max(len(self.scales), 1)
+
+    def build_batch(self, population: np.ndarray) -> PiecewiseLinearBatch:
+        """Fit + FXP-round the whole population in one shot."""
+        return fit_pwl_batch(
+            self.function.fn,
+            population,
+            self.function.search_range,
+            method=self.fit_method,
+        ).to_fixed_point(self.frac_bits)
+
+    def batch_call(self, population: np.ndarray) -> np.ndarray:
+        """Quantized-pipeline MSE for all individuals and scales at once.
+
+        The lookup for every (scale, individual, code) triple is a single
+        broadcast through :class:`QuantizedLUTBatch`; only the per-scale
+        domain masking and reference evaluation remain a (length ``S``)
+        Python loop, accumulated in the same order as the scalar path so the
+        scores agree bit-for-bit.
+        """
+        pwls = self.build_batch(np.asarray(population, dtype=np.float64))
+        qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
+        codes = np.arange(qn, qp + 1, dtype=np.float64)
+        lut = QuantizedLUTBatch(
+            pwl=pwls,
+            scales=np.asarray(self.scales, dtype=np.float64),
+            spec=self.spec,
+            frac_bits=self.frac_bits,
+        )
+        approx_all = lut.lookup_dequantized(codes)
+        total = np.zeros(pwls.population_size, dtype=np.float64)
+        for s_idx, scale in enumerate(lut.scales):
+            x = codes * scale
+            approx = approx_all[s_idx]
+            if self.eval_domain is not None:
+                mask = (x >= self.eval_domain[0]) & (x <= self.eval_domain[1])
+                # ascontiguousarray keeps the row reduction on the same
+                # contiguous summation path as the scalar code (bit parity).
+                x, approx = x[mask], np.ascontiguousarray(approx[:, mask])
+            if x.size == 0:
+                continue
+            reference = np.asarray(self.function(x), dtype=np.float64)
+            total += np.mean((approx - reference[None, :]) ** 2, axis=1)
         return total / max(len(self.scales), 1)

@@ -17,17 +17,37 @@ breakpoints that sit on coarse power-of-two grids, and picking from that
 final population is what makes the deployed breakpoints robust to
 quantization.  Optional elitism (off by default, as in the paper) can be
 enabled to stabilise the plain-Gaussian variant.
+
+The population lives in a single ``(P, N_b)`` float64 matrix.  Two scoring
+engines are available (see DESIGN.md for the full contract):
+
+* ``engine="batch"`` (default) — the population is de-duplicated, filtered
+  through a cross-generation score cache, and the remaining rows are scored
+  by one :meth:`FitnessFunction.batch_call`;
+* ``engine="legacy"`` — one scalar fitness call per individual, kept as the
+  reference path for equivalence tests and throughput benchmarks.
+
+Both engines consume the random stream identically and the batched fitness
+implementations are bit-identical to their scalar counterparts, so a seeded
+run returns the same :class:`GAResult` under either engine.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.fitness import FitnessFunction
 from repro.core.mutation import MutationFunction, NormalMutation
+
+ENGINES = ("batch", "legacy")
+
+# Upper bound on cached (breakpoints -> score) entries; oldest entries are
+# evicted first.  At the Table 1 budget a full run touches well under 2^15
+# distinct individuals, so the default never evicts in practice.
+DEFAULT_CACHE_SIZE = 1 << 16
 
 
 @dataclasses.dataclass(frozen=True)
@@ -72,6 +92,13 @@ class GAResult:
     ``best_ever_breakpoints`` / ``best_ever_fitness`` track the fittest
     individual seen at any point of the run, which is useful for diagnosing
     how much the mutation pressure trades raw FP fitness for robustness.
+
+    ``evaluations`` counts logical fitness evaluations (population size per
+    scored generation, as Algorithm 1 accounts them); ``fitness_calls`` is
+    how many individuals were actually pushed through the fitness function
+    after de-duplication and score caching, and ``cache_hits`` is the number
+    of logical evaluations answered without any fitness work.  Under the
+    legacy engine ``fitness_calls == evaluations`` and ``cache_hits == 0``.
     """
 
     best_breakpoints: np.ndarray
@@ -81,6 +108,8 @@ class GAResult:
     history: List[float]
     generations_run: int
     evaluations: int
+    fitness_calls: int = 0
+    cache_hits: int = 0
 
     @property
     def converged_early(self) -> bool:
@@ -88,7 +117,21 @@ class GAResult:
 
 
 class GeneticSearch:
-    """Runs Algorithm 1 for a given fitness and mutation operator."""
+    """Runs Algorithm 1 for a given fitness and mutation operator.
+
+    Parameters
+    ----------
+    fitness, search_range, settings, mutation:
+        As in Algorithm 1 (see the module docstring).
+    engine:
+        ``"batch"`` scores each generation through
+        :meth:`FitnessFunction.batch_call` after de-duplicating rows and
+        consulting a cross-generation score cache; ``"legacy"`` scores one
+        individual at a time.  Seeded results are identical either way.
+    cache_size:
+        Maximum number of cached (breakpoints -> score) entries for the
+        batch engine; oldest entries are evicted first.
+    """
 
     def __init__(
         self,
@@ -96,48 +139,160 @@ class GeneticSearch:
         search_range: Tuple[float, float],
         settings: GASettings = GASettings(),
         mutation: Optional[MutationFunction] = None,
+        engine: str = "batch",
+        cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         lo, hi = search_range
         if not lo < hi:
             raise ValueError("invalid search range [%r, %r]" % (lo, hi))
+        if engine not in ENGINES:
+            raise ValueError("unknown engine %r (expected one of %s)" % (engine, ENGINES))
         self.fitness = fitness
         self.search_range = (float(lo), float(hi))
         self.settings = settings
         self.mutation = mutation or NormalMutation(search_range=self.search_range)
+        self.engine = engine
         self._rng = np.random.default_rng(settings.seed)
+        self._cache: Dict[bytes, float] = {}
+        self._cache_size = int(cache_size)
+        self._fitness_calls = 0
+        self._cache_hits = 0
 
     # -- population handling -------------------------------------------------
 
-    def _initial_population(self) -> List[np.ndarray]:
+    def _initial_population(self) -> np.ndarray:
+        """Random sorted individuals as a single ``(P, N_b)`` matrix."""
         lo, hi = self.search_range
-        population = []
-        for _ in range(self.settings.population_size):
-            individual = np.sort(
-                self._rng.uniform(lo, hi, size=self.settings.num_breakpoints)
-            )
-            population.append(individual)
-        return population
+        population = self._rng.uniform(
+            lo, hi, size=(self.settings.population_size, self.settings.num_breakpoints)
+        )
+        return np.sort(population, axis=1)
+
+    @staticmethod
+    def _apply_swap(a: np.ndarray, b: np.ndarray, start: int, stop: int) -> None:
+        """Exchange ``[start, stop)`` between two rows in place, then re-sort."""
+        segment = a[start:stop].copy()
+        a[start:stop] = b[start:stop]
+        b[start:stop] = segment
+        a.sort()
+        b.sort()
 
     def _crossover(self, a: np.ndarray, b: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Swap a random contiguous segment between two individuals."""
+        """Swap a random contiguous segment between two individuals.
+
+        The swap window is ``[start, stop)`` with ``start`` drawn uniformly
+        over *all* indices — including the last one, so the top breakpoint
+        participates in exchange as often as any other.
+        """
         n = a.size
         if n < 2:
             return a.copy(), b.copy()
-        start = int(self._rng.integers(0, n - 1))
+        start = int(self._rng.integers(0, n))
         stop = int(self._rng.integers(start + 1, n + 1))
         child_a, child_b = a.copy(), b.copy()
-        child_a[start:stop], child_b[start:stop] = b[start:stop].copy(), a[start:stop].copy()
-        return np.sort(child_a), np.sort(child_b)
+        self._apply_swap(child_a, child_b, start, stop)
+        return child_a, child_b
 
-    def _tournament(self, population: List[np.ndarray], scores: np.ndarray) -> List[np.ndarray]:
-        """3-way tournament selection (lower score wins)."""
-        size = self.settings.tournament_size
-        selected: List[np.ndarray] = []
-        for _ in range(len(population)):
-            contenders = self._rng.integers(0, len(population), size=size)
-            winner = contenders[int(np.argmin(scores[contenders]))]
-            selected.append(population[winner].copy())
-        return selected
+    def _tournament(self, population: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        """3-way tournament selection (lower score wins), fully vectorized.
+
+        One ``(P, T)`` contender draw replaces the per-individual loop; the
+        draw consumes the random stream exactly like ``P`` separate size-``T``
+        draws, so seeded trajectories are unchanged.
+        """
+        count = population.shape[0]
+        contenders = self._rng.integers(
+            0, count, size=(count, self.settings.tournament_size)
+        )
+        winners = contenders[np.arange(count), np.argmin(scores[contenders], axis=1)]
+        return population[winners]
+
+    def _crossover_population(self, population: np.ndarray) -> None:
+        """Apply probabilistic segment-swap crossover to the matrix in place.
+
+        All randomness is drawn up front in four vectorized calls (gate
+        mask, partners, window starts, window stops — the documented draw
+        order); only the swaps themselves run sequentially, because an
+        individual touched by one exchange may be a partner in the next.
+        """
+        count, n = population.shape
+        gates = self._rng.random(count) < self.settings.crossover_prob
+        (triggered,) = np.nonzero(gates)
+        if triggered.size == 0:
+            return
+        partners = self._rng.integers(0, count, size=triggered.size)
+        if n < 2:
+            return
+        starts = self._rng.integers(0, n, size=triggered.size)
+        stops = self._rng.integers(starts + 1, n + 1)
+        for k in range(triggered.size):
+            i = int(triggered[k])
+            j = int(partners[k])
+            if j == i:
+                j = (j + 1) % count
+            self._apply_swap(population[i], population[j], int(starts[k]), int(stops[k]))
+
+    def _mutate_population(self, population: np.ndarray) -> None:
+        """Mutate gated rows through one batched operator application."""
+        gates = self._rng.random(population.shape[0]) < self.settings.mutation_prob
+        (triggered,) = np.nonzero(gates)
+        if triggered.size == 0:
+            return
+        population[triggered] = self.mutation.mutate_batch(
+            population[triggered], self._rng
+        )
+
+    # -- scoring -------------------------------------------------------------
+
+    def _score_population(self, population: np.ndarray) -> np.ndarray:
+        if self.engine == "legacy":
+            self._fitness_calls += population.shape[0]
+            return np.array(
+                [float(self.fitness(row)) for row in population], dtype=np.float64
+            )
+        return self._score_batch(population)
+
+    def _score_batch(self, population: np.ndarray) -> np.ndarray:
+        """Dedup + cache-filter the population, then one batched fitness call.
+
+        Tournament selection copies winners, crossover/mutation fire
+        probabilistically and RM rounds breakpoints onto coarse grids, so a
+        generation routinely repeats rows — within itself and across
+        generations.  Each distinct row is scored once; everything else is
+        answered from the cache.
+        """
+        scores = np.empty(population.shape[0], dtype=np.float64)
+        pending: Dict[bytes, List[int]] = {}
+        pending_order: List[bytes] = []
+        for i in range(population.shape[0]):
+            key = population[i].tobytes()
+            cached = self._cache.get(key)
+            if cached is not None:
+                scores[i] = cached
+                self._cache_hits += 1
+            elif key in pending:
+                pending[key].append(i)
+                self._cache_hits += 1
+            else:
+                pending[key] = [i]
+                pending_order.append(key)
+        if pending_order:
+            rows = np.stack([population[pending[key][0]] for key in pending_order])
+            values = np.asarray(self.fitness.batch_call(rows), dtype=np.float64)
+            if values.shape != (len(pending_order),):
+                raise ValueError(
+                    "batch_call returned shape %r for %d individuals"
+                    % (values.shape, len(pending_order))
+                )
+            self._fitness_calls += len(pending_order)
+            for key, value in zip(pending_order, values):
+                value = float(value)
+                for position in pending[key]:
+                    scores[position] = value
+                self._cache[key] = value
+            while len(self._cache) > self._cache_size:
+                self._cache.pop(next(iter(self._cache)))
+        return scores
 
     # -- main loop -----------------------------------------------------------
 
@@ -159,6 +314,10 @@ class GeneticSearch:
             ``tol`` for ``patience`` consecutive generations.
         """
         settings = self.settings
+        # Per-run work counters; the score cache itself is kept warm across
+        # runs (cached scores are exact, so trajectories are unaffected).
+        self._fitness_calls = 0
+        self._cache_hits = 0
         population = self._initial_population()
         best_ever_bp: Optional[np.ndarray] = None
         best_ever_fit = float("inf")
@@ -169,8 +328,8 @@ class GeneticSearch:
 
         for generation in range(settings.generations):
             generations_run = generation + 1
-            scores = np.array([self.fitness(ind) for ind in population])
-            evaluations += len(population)
+            scores = self._score_population(population)
+            evaluations += population.shape[0]
 
             gen_best_idx = int(np.argmin(scores))
             improved = scores[gen_best_idx] < best_ever_fit - tol
@@ -185,27 +344,14 @@ class GeneticSearch:
             if patience is not None and stale >= patience:
                 break
 
-            # Selection.
+            # Selection, then in-place crossover and mutation on the matrix.
             next_population = self._tournament(population, scores)
-
-            # Crossover.
-            for i in range(len(next_population)):
-                if self._rng.random() < settings.crossover_prob:
-                    j = int(self._rng.integers(0, len(next_population)))
-                    if j == i:
-                        j = (j + 1) % len(next_population)
-                    next_population[i], next_population[j] = self._crossover(
-                        next_population[i], next_population[j]
-                    )
-
-            # Mutation.
-            for i in range(len(next_population)):
-                if self._rng.random() < settings.mutation_prob:
-                    next_population[i] = self.mutation(next_population[i], self._rng)
+            self._crossover_population(next_population)
+            self._mutate_population(next_population)
 
             # Optional elitism: keep the best-so-far individual alive.
             if settings.elitism and best_ever_bp is not None:
-                next_population[0] = best_ever_bp.copy()
+                next_population[0] = best_ever_bp
 
             population = next_population
 
@@ -215,8 +361,8 @@ class GeneticSearch:
         # Algorithm 1 line 20: the answer is the fittest individual of the
         # final generation (which, under RM, carries the quantization-robust
         # grid-aligned breakpoints).
-        final_scores = np.array([self.fitness(ind) for ind in population])
-        evaluations += len(population)
+        final_scores = self._score_population(population)
+        evaluations += population.shape[0]
         final_best_idx = int(np.argmin(final_scores))
 
         return GAResult(
@@ -227,4 +373,6 @@ class GeneticSearch:
             history=history,
             generations_run=generations_run,
             evaluations=evaluations,
+            fitness_calls=self._fitness_calls,
+            cache_hits=self._cache_hits,
         )

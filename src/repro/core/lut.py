@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.pwl import PiecewiseLinear
+from repro.core.pwl import PiecewiseLinear, PiecewiseLinearBatch, segment_counts
 from repro.quant.fxp import fxp_round
 from repro.quant.power_of_two import is_power_of_two, power_of_two_exponent
 from repro.quant.quantizer import QuantSpec, quant_bounds
@@ -174,3 +174,122 @@ class QuantizedLUT:
     def with_scale(self, scale: float) -> "QuantizedLUT":
         """Re-target the same searched parameters to a new scaling factor."""
         return QuantizedLUT(pwl=self.pwl, scale=scale, spec=self.spec, frac_bits=self.frac_bits)
+
+
+@dataclasses.dataclass(frozen=True)
+class QuantizedLUTBatch:
+    """The Fig. 1b pipeline broadcast over a pwl population and a scale sweep.
+
+    Wraps a :class:`PiecewiseLinearBatch` of ``P`` individuals and ``S``
+    power-of-two scaling factors; lookups return ``(S, P, C)`` arrays where
+    ``C`` is the number of input codes.  Entry ``[s, p]`` is bit-identical to
+    the scalar :class:`QuantizedLUT` built from row ``p`` at scale ``s`` —
+    this is what lets :class:`repro.core.fitness.QuantizedMSEFitness` score a
+    whole GA population across its scale sweep in a handful of array ops.
+    """
+
+    pwl: PiecewiseLinearBatch
+    scales: np.ndarray
+    spec: QuantSpec = QuantSpec(bits=8, signed=True)
+    frac_bits: int = 5
+
+    def __post_init__(self) -> None:
+        scales = np.atleast_1d(np.asarray(self.scales, dtype=np.float64))
+        if scales.ndim != 1 or scales.size == 0:
+            raise ValueError("scales must be a non-empty 1-D sequence")
+        for scale in scales:
+            if scale <= 0 or not is_power_of_two(float(scale)):
+                raise ValueError(
+                    "QuantizedLUTBatch requires positive power-of-two scales (got %r)"
+                    % (scale,)
+                )
+        object.__setattr__(self, "scales", scales)
+
+    @property
+    def num_scales(self) -> int:
+        return int(self.scales.size)
+
+    @property
+    def population_size(self) -> int:
+        return self.pwl.population_size
+
+    @property
+    def num_entries(self) -> int:
+        return self.pwl.num_entries
+
+    @property
+    def quantized_breakpoints(self) -> np.ndarray:
+        """Breakpoints quantized per scale (Eq. 3): ``(S, P, N - 1)``."""
+        qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
+        return np.clip(
+            np.round(self.pwl.breakpoints[None, :, :] / self.scales[:, None, None]), qn, qp
+        )
+
+    @property
+    def stored_slopes(self) -> np.ndarray:
+        """FXP slopes as stored in the LUT: ``(P, N)`` (scale independent)."""
+        return fxp_round(self.pwl.slopes, self.frac_bits)
+
+    @property
+    def stored_intercepts(self) -> np.ndarray:
+        """FXP intercepts as stored in the LUT: ``(P, N)``."""
+        return fxp_round(self.pwl.intercepts, self.frac_bits)
+
+    @property
+    def shifted_intercepts(self) -> np.ndarray:
+        """Shifter outputs ``b_i >> log2(S)`` per scale: ``(S, P, N)``."""
+        return fxp_round(
+            self.stored_intercepts[None, :, :] / self.scales[:, None, None], self.frac_bits
+        )
+
+    def segment_index(self, q) -> np.ndarray:
+        """Comparer on integer codes: ``(S, P, C)`` segment indices."""
+        codes = np.asarray(q, dtype=np.float64).ravel()
+        return (self.quantized_breakpoints[:, :, :, None] <= codes[None, None, None, :]).sum(
+            axis=2
+        )
+
+    def lookup_integer(self, q) -> np.ndarray:
+        """Integer-domain outputs ``k_i q + (b_i >> shift)``: ``(S, P, C)``.
+
+        Ascending code vectors (the evaluation-protocol case) take a
+        repeat-expansion fast path via :func:`segment_counts`; the selected
+        coefficients per code are identical either way.
+        """
+        codes = np.asarray(q, dtype=np.float64).ravel()
+        scale_count, pop, entries = (
+            self.num_scales,
+            self.population_size,
+            self.num_entries,
+        )
+        if codes.size and entries > 1 and np.all(codes[1:] >= codes[:-1]):
+            counts = segment_counts(
+                self.quantized_breakpoints.reshape(scale_count * pop, entries - 1), codes
+            )
+            k_all = np.broadcast_to(
+                self.stored_slopes[None, :, :], (scale_count, pop, entries)
+            ).ravel()
+            k = np.repeat(k_all, counts.ravel()).reshape(scale_count, pop, codes.size)
+            b = np.repeat(self.shifted_intercepts.ravel(), counts.ravel()).reshape(
+                scale_count, pop, codes.size
+            )
+            return k * codes[None, None, :] + b
+        idx = self.segment_index(codes)
+        rows = np.arange(pop)[None, :, None]
+        sweep = np.arange(scale_count)[:, None, None]
+        k = self.stored_slopes[rows, idx]
+        b = self.shifted_intercepts[sweep, rows, idx]
+        return k * codes[None, None, :] + b
+
+    def lookup_dequantized(self, q) -> np.ndarray:
+        """Real-domain approximations ``S * (k_i q + b_i / S)``: ``(S, P, C)``."""
+        return self.scales[:, None, None] * self.lookup_integer(q)
+
+    def at(self, scale_index: int, row: int) -> QuantizedLUT:
+        """The scalar :class:`QuantizedLUT` for one (scale, individual) pair."""
+        return QuantizedLUT(
+            pwl=self.pwl.row(row),
+            scale=float(self.scales[scale_index]),
+            spec=self.spec,
+            frac_bits=self.frac_bits,
+        )

@@ -29,6 +29,17 @@ class MutationFunction:
     ) -> np.ndarray:  # pragma: no cover - interface
         raise NotImplementedError
 
+    def mutate_batch(self, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Mutate a ``(K, N_b)`` matrix of individuals; returns the same shape.
+
+        The default applies ``__call__`` row by row, so custom operators work
+        with the batched genetic engine unchanged; the built-in operators
+        override it with a single-draw vectorized implementation (one RNG
+        call per noise source for the whole matrix).
+        """
+        matrix = np.asarray(rows, dtype=np.float64)
+        return np.stack([self(row, rng) for row in matrix])
+
 
 @dataclasses.dataclass(frozen=True)
 class NormalMutation(MutationFunction):
@@ -49,13 +60,19 @@ class NormalMutation(MutationFunction):
     per_element_prob: float = 0.5
 
     def __call__(self, breakpoints: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        # One-row batch: rng.random((1, N)) consumes the same doubles as
+        # rng.random(N), so this is stream-identical to a scalar version.
+        return self.mutate_batch(np.asarray(breakpoints, dtype=np.float64)[None, :], rng)[0]
+
+    def mutate_batch(self, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Perturb all ``K`` individuals with two draws (mask + noise)."""
         lo, hi = self.search_range
         width = hi - lo
-        bp = np.asarray(breakpoints, dtype=np.float64).copy()
+        bp = np.asarray(rows, dtype=np.float64).copy()
         mask = rng.random(bp.shape) < self.per_element_prob
         noise = rng.normal(0.0, self.sigma_fraction * width, size=bp.shape)
         bp = np.where(mask, bp + noise, bp)
-        return np.sort(np.clip(bp, lo, hi))
+        return np.sort(np.clip(bp, lo, hi), axis=-1)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -93,12 +110,33 @@ class RoundingMutation(MutationFunction):
                 return float(np.round(p * (2.0 ** i)) / (2.0 ** i))
         return p
 
+    def _apply_rands(self, bp: np.ndarray, rands: np.ndarray) -> np.ndarray:
+        """Vectorized Algorithm 2 inner loop: one slot test per exponent.
+
+        The probability slots are disjoint (adjacent conditions share the
+        same ``(i + 1) * theta_r`` float), so at most one exponent fires per
+        breakpoint — exactly the scalar :meth:`mutate_scalar` semantics.
+        """
+        if self.theta_r <= 0:
+            return bp
+        ma, mb = self.mutate_range
+        out = bp.copy()
+        for i in range(ma, mb + 1):
+            hit = (i * self.theta_r <= rands) & (rands < (i + 1) * self.theta_r)
+            if np.any(hit):
+                factor = 2.0 ** i
+                out = np.where(hit, np.round(bp * factor) / factor, out)
+        return out
+
     def __call__(self, breakpoints: np.ndarray, rng: np.random.Generator) -> np.ndarray:
-        bp = np.asarray(breakpoints, dtype=np.float64).copy()
-        mutated = np.empty_like(bp)
-        for idx, p in enumerate(bp):
-            rand_p = float(rng.random())
-            mutated[idx] = self.mutate_scalar(float(p), rand_p)
+        # One-row batch; stream-identical to a scalar implementation (see
+        # NormalMutation.__call__).
+        return self.mutate_batch(np.asarray(breakpoints, dtype=np.float64)[None, :], rng)[0]
+
+    def mutate_batch(self, rows: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """Round all ``K`` individuals with a single ``(K, N_b)`` draw."""
+        bp = np.asarray(rows, dtype=np.float64).copy()
+        mutated = self._apply_rands(bp, rng.random(bp.shape))
         if self.search_range is not None:
             mutated = np.clip(mutated, self.search_range[0], self.search_range[1])
-        return np.sort(mutated)
+        return np.sort(mutated, axis=-1)

@@ -39,6 +39,9 @@ class ApproximationBudget:
     nn_lut_samples: int = 20_000
     nn_lut_iterations: int = 1500
     seed: int = 0
+    # Population-scoring path of the genetic engine; "legacy" keeps the
+    # per-individual reference path (seeded results are identical).
+    engine: str = "batch"
 
     @classmethod
     def paper(cls) -> "ApproximationBudget":
@@ -81,6 +84,7 @@ def build_approximation(
             generations=budget.generations,
             population_size=budget.population_size,
             seed=budget.seed,
+            engine=budget.engine,
         )
         return outcome.pwl_fxp
     raise ValueError("unknown method %r; expected one of %s" % (method, METHODS))

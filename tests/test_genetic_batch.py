@@ -1,0 +1,254 @@
+"""Equivalence and regression tests for the batched genetic engine.
+
+Pins the three contracts DESIGN.md documents:
+
+* batched fitness scores are bit-identical to scalar scores (to well below
+  the issue's 1e-12 bound — exactly equal);
+* a seeded ``GeneticSearch.run`` returns identical results under the
+  batched and per-individual (legacy) engines, for both mutation operators;
+* the dedup + score cache only removes redundant fitness work — it never
+  changes the trajectory — and the crossover window can start at the last
+  breakpoint index.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import QuantizedPWLEvaluator
+from repro.core.fitness import FitnessFunction, GridMSEFitness, QuantizedMSEFitness
+from repro.core.genetic import GASettings, GeneticSearch
+from repro.core.mutation import NormalMutation, RoundingMutation
+from repro.core.pwl import fit_pwl_batch
+from repro.core.search import GQALUT
+from repro.functions.registry import get_function
+
+
+def make_population(fn, size=20, num_breakpoints=7, seed=0):
+    rng = np.random.default_rng(seed)
+    pop = np.sort(rng.uniform(*fn.search_range, size=(size, num_breakpoints)), axis=1)
+    pop[0] = pop[1]  # duplicate row, as tournament selection produces
+    return pop
+
+
+class TestBatchFitnessEquivalence:
+    @pytest.mark.parametrize("frac_bits", [None, 5])
+    @pytest.mark.parametrize("method", ["interpolate", "lstsq"])
+    def test_grid_mse_scores_match_scalar(self, frac_bits, method):
+        fn = get_function("gelu")
+        fitness = GridMSEFitness(fn, grid_step=0.01, fit_method=method, frac_bits=frac_bits)
+        pop = make_population(fn)
+        batch = fitness.batch_call(pop)
+        scalar = np.array([fitness(row) for row in pop])
+        np.testing.assert_array_equal(batch, scalar)
+        np.testing.assert_allclose(batch, scalar, atol=1e-12, rtol=0)
+
+    @pytest.mark.parametrize("operator", ["gelu", "exp"])
+    def test_quantized_mse_scores_match_scalar(self, operator):
+        fn = get_function(operator)
+        fitness = QuantizedMSEFitness(fn)
+        pop = make_population(fn, size=12)
+        batch = fitness.batch_call(pop)
+        scalar = np.array([fitness(row) for row in pop])
+        np.testing.assert_array_equal(batch, scalar)
+
+    def test_quantized_mse_with_eval_domain_matches_scalar(self):
+        fn = get_function("gelu")
+        fitness = QuantizedMSEFitness(fn, eval_domain=fn.search_range)
+        pop = make_population(fn, size=12)
+        np.testing.assert_array_equal(
+            fitness.batch_call(pop), np.array([fitness(row) for row in pop])
+        )
+
+    def test_default_batch_call_falls_back_to_scalar(self):
+        class WidthFitness(FitnessFunction):
+            def __call__(self, breakpoints):
+                return float(np.max(breakpoints) - np.min(breakpoints))
+
+        pop = make_population(get_function("gelu"), size=6)
+        fitness = WidthFitness()
+        np.testing.assert_array_equal(
+            fitness.batch_call(pop), np.array([fitness(row) for row in pop])
+        )
+
+
+class TestEngineParity:
+    def run_pair(self, operator="gelu", use_rm=True, seed=0, generations=25, pop=14):
+        results = {}
+        for engine in ("batch", "legacy"):
+            outcome = GQALUT.for_operator(operator, num_entries=8, use_rm=use_rm).search(
+                generations=generations,
+                population_size=pop,
+                seed=seed,
+                engine=engine,
+            )
+            results[engine] = outcome.ga_result
+        return results["batch"], results["legacy"]
+
+    @pytest.mark.parametrize("seed", [0, 1, 7])
+    def test_seeded_run_identical_across_engines_rm(self, seed):
+        batch, legacy = self.run_pair(seed=seed)
+        np.testing.assert_array_equal(batch.best_breakpoints, legacy.best_breakpoints)
+        assert batch.best_fitness == legacy.best_fitness
+        np.testing.assert_array_equal(
+            batch.best_ever_breakpoints, legacy.best_ever_breakpoints
+        )
+        assert batch.history == legacy.history
+
+    def test_seeded_run_identical_across_engines_gaussian(self):
+        batch, legacy = self.run_pair(use_rm=False, seed=3)
+        np.testing.assert_array_equal(batch.best_breakpoints, legacy.best_breakpoints)
+        assert batch.best_fitness == legacy.best_fitness
+
+    def test_direct_genetic_search_parity_with_custom_fitness(self):
+        class WidthFitness(FitnessFunction):
+            def __call__(self, breakpoints):
+                return float(np.sum(np.abs(np.asarray(breakpoints))))
+
+        settings = GASettings(
+            num_breakpoints=5, population_size=10, generations=12, seed=11
+        )
+        results = {}
+        for engine in ("batch", "legacy"):
+            ga = GeneticSearch(WidthFitness(), (-4.0, 4.0), settings, engine=engine)
+            results[engine] = ga.run()
+        np.testing.assert_array_equal(
+            results["batch"].best_breakpoints, results["legacy"].best_breakpoints
+        )
+        assert results["batch"].history == results["legacy"].history
+
+    def test_unknown_engine_rejected(self):
+        fitness = GridMSEFitness(get_function("gelu"), grid_step=0.1)
+        with pytest.raises(ValueError):
+            GeneticSearch(fitness, (-4.0, 4.0), engine="turbo")
+
+
+class TestDedupCache:
+    def test_cache_removes_fitness_work_but_counts_logical_evals(self):
+        batch, legacy = TestEngineParity().run_pair(seed=0, generations=30)
+        assert batch.evaluations == legacy.evaluations
+        assert legacy.fitness_calls == legacy.evaluations
+        assert legacy.cache_hits == 0
+        assert batch.fitness_calls < batch.evaluations
+        assert batch.cache_hits > 0
+        assert batch.fitness_calls + batch.cache_hits == batch.evaluations
+
+    def test_counters_reset_between_runs(self):
+        """Regression: fitness_calls/cache_hits must be per-run, not
+        accumulated instance state."""
+        fn = get_function("gelu")
+        fitness = GridMSEFitness(fn, grid_step=0.05)
+        settings = GASettings(num_breakpoints=7, population_size=8, generations=3, seed=1)
+        for engine in ("batch", "legacy"):
+            ga = GeneticSearch(fitness, fn.search_range, settings, engine=engine)
+            first, second = ga.run(), ga.run()
+            for result in (first, second):
+                assert result.fitness_calls + result.cache_hits == result.evaluations
+            if engine == "legacy":
+                assert second.fitness_calls == second.evaluations
+            else:
+                # Second run starts with a warm cache: strictly less work.
+                assert second.fitness_calls < first.fitness_calls
+
+    def test_malformed_batch_call_rejected(self):
+        class BrokenFitness(FitnessFunction):
+            def __call__(self, breakpoints):
+                return 0.0
+
+            def batch_call(self, population):
+                return np.zeros(1)  # wrong length
+
+        settings = GASettings(num_breakpoints=3, population_size=6, generations=2, seed=0)
+        ga = GeneticSearch(BrokenFitness(), (-1.0, 1.0), settings, engine="batch")
+        with pytest.raises(ValueError):
+            ga.run()
+
+    def test_cache_eviction_keeps_results_correct(self):
+        fn = get_function("gelu")
+        fitness = GridMSEFitness(fn, grid_step=0.05)
+        settings = GASettings(
+            num_breakpoints=7, population_size=10, generations=15, seed=4
+        )
+        tiny = GeneticSearch(fitness, fn.search_range, settings, engine="batch", cache_size=8)
+        full = GeneticSearch(fitness, fn.search_range, settings, engine="batch")
+        a, b = tiny.run(), full.run()
+        np.testing.assert_array_equal(a.best_breakpoints, b.best_breakpoints)
+        assert a.history == b.history
+        assert a.fitness_calls >= b.fitness_calls  # eviction re-scores, never corrupts
+
+
+class TestCrossoverWindow:
+    def test_swap_can_start_at_last_index(self):
+        """Regression for the `integers(0, n - 1)` bias: the swap window must
+        be able to cover exactly the top breakpoint."""
+        fitness = GridMSEFitness(get_function("gelu"), grid_step=0.1)
+        ga = GeneticSearch(
+            fitness, (-4.0, 4.0), GASettings(num_breakpoints=7, seed=123)
+        )
+        a = np.arange(7, dtype=np.float64)
+        b = a + 100.0  # swapped-in values are unambiguous after sorting
+        top_only = False
+        for _ in range(500):
+            child_a, _ = ga._crossover(a, b)
+            swapped_in = child_a[child_a >= 100.0] - 100.0
+            if swapped_in.size == 1 and swapped_in[0] == 6.0:
+                top_only = True
+                break
+        assert top_only, "window never covered only the last breakpoint"
+
+    def test_crossover_preserves_multiset_and_sortedness(self):
+        fitness = GridMSEFitness(get_function("gelu"), grid_step=0.1)
+        ga = GeneticSearch(fitness, (-4.0, 4.0), GASettings(num_breakpoints=7, seed=5))
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            a = np.sort(rng.uniform(-4, 4, 7))
+            b = np.sort(rng.uniform(-4, 4, 7))
+            child_a, child_b = ga._crossover(a, b)
+            assert np.all(np.diff(child_a) >= 0) and np.all(np.diff(child_b) >= 0)
+            np.testing.assert_allclose(
+                np.sort(np.concatenate([child_a, child_b])),
+                np.sort(np.concatenate([a, b])),
+            )
+
+
+class TestBatchedEvaluator:
+    def test_mse_matrix_matches_scalar_sweep(self):
+        fn = get_function("gelu")
+        pop = make_population(fn, size=6)
+        pwls = fit_pwl_batch(fn.fn, pop, fn.search_range).to_fixed_point(5)
+        evaluator = QuantizedPWLEvaluator(fn, frac_bits=5)
+        matrix = evaluator.mse_matrix(pwls)
+        assert matrix.shape == (7, 6)
+        for p in range(6):
+            sweep = evaluator.sweep(pwls.row(p))
+            for s_idx, scale in enumerate(sweep):
+                assert matrix[s_idx, p] == sweep[scale]
+
+    def test_average_mse_batch_matches_scalar(self):
+        fn = get_function("exp")
+        pop = make_population(fn, size=5)
+        pwls = fit_pwl_batch(fn.fn, pop, fn.search_range).to_fixed_point(5)
+        evaluator = QuantizedPWLEvaluator(fn, frac_bits=5)
+        averages = evaluator.average_mse_batch(pwls)
+        for p in range(5):
+            assert averages[p] == pytest.approx(
+                evaluator.average_mse(pwls.row(p)), abs=1e-15
+            )
+
+
+class TestMutationBatchParity:
+    def test_rounding_mutation_batch_matches_sequential_calls(self):
+        mutation = RoundingMutation(mutate_range=(0, 6), theta_r=0.05,
+                                    search_range=(-4.0, 4.0))
+        rows = np.sort(np.random.default_rng(2).uniform(-4, 4, size=(6, 7)), axis=1)
+        batched = mutation.mutate_batch(rows, np.random.default_rng(9))
+        rng = np.random.default_rng(9)
+        sequential = np.stack([mutation(row, rng) for row in rows])
+        np.testing.assert_array_equal(batched, sequential)
+
+    def test_normal_mutation_batch_shape_and_bounds(self):
+        mutation = NormalMutation(search_range=(-4.0, 4.0), per_element_prob=1.0)
+        rows = np.sort(np.random.default_rng(3).uniform(-4, 4, size=(5, 7)), axis=1)
+        out = mutation.mutate_batch(rows, np.random.default_rng(0))
+        assert out.shape == rows.shape
+        assert np.all(out >= -4.0) and np.all(out <= 4.0)
+        assert np.all(np.diff(out, axis=1) >= 0)
