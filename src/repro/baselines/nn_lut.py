@@ -21,12 +21,14 @@ quantization aware — the limitation GQA-LUT's RM strategy addresses.
 from __future__ import annotations
 
 import dataclasses
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 import numpy as np
 
+from repro.core.lut import DenseLUT, QuantizedLUT, check_engine
 from repro.core.pwl import PiecewiseLinear
 from repro.functions.nonlinear import NonLinearFunction
+from repro.quant.quantizer import QuantSpec
 
 
 @dataclasses.dataclass(frozen=True)
@@ -192,3 +194,28 @@ class NNLUT:
         if not self._trained:
             self.train(verbose=verbose)
         return self.extract_pwl()
+
+    def deploy(
+        self,
+        scale: float,
+        spec: QuantSpec = QuantSpec(bits=8, signed=True),
+        frac_bits: int = 5,
+        engine: str = "dense",
+    ) -> Union[DenseLUT, QuantizedLUT]:
+        """Deploy the trained network as a quantization-aware LUT unit.
+
+        This is the inference form NN-LUT actually ships: the extracted pwl
+        behind the Fig. 1b pipeline at the runtime power-of-two ``scale``.
+        ``engine="dense"`` materialises the ``2^bits``-entry gather table,
+        ``engine="legacy"`` returns the comparer-based :class:`QuantizedLUT`;
+        both are bit-identical over every input code.  Trains first if the
+        network has not been trained yet.
+        """
+        check_engine(engine)
+        if not self._trained:
+            self.train()
+        pwl = self.extract_fxp_pwl(frac_bits=frac_bits)
+        quantized = QuantizedLUT(pwl=pwl, scale=scale, spec=spec, frac_bits=frac_bits)
+        if engine == "dense":
+            return quantized.to_dense()
+        return quantized

@@ -9,11 +9,24 @@ Two storage patterns are modelled:
   stores FXP slopes/intercepts plus breakpoints pre-quantized by the runtime
   power-of-two scaling factor ``S``; the comparer operates on the INT8/16
   code ``q`` and the intercepts are rescaled by a shifter at run time.
+* :class:`DenseLUT` — the deployed inference engine: for a ``bits``-bit
+  input there are only ``2^bits`` possible codes, so the whole Fig. 1b
+  pipeline (comparer + multiplier + shifter) collapses into one precomputed
+  output table and one slope table, and a lookup is a single gather.  Entry
+  ``q`` is bit-identical to the :class:`QuantizedLUT` pipeline evaluated at
+  code ``q``, so the two storage patterns are interchangeable at run time.
+
+:func:`dense_lut_for` maintains a bounded process-wide cache of dense
+tables keyed by ``(pwl identity, scale, spec, frac_bits)`` so that modules
+re-evaluating the same frozen pwl every training step (the fine-tuning hot
+path) build each table exactly once per deployed scale.
 """
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import functools
 from typing import List, Optional, Tuple
 
 import numpy as np
@@ -22,6 +35,18 @@ from repro.core.pwl import PiecewiseLinear, PiecewiseLinearBatch, segment_counts
 from repro.quant.fxp import fxp_round
 from repro.quant.power_of_two import is_power_of_two, power_of_two_exponent
 from repro.quant.quantizer import QuantSpec, quant_bounds
+
+# Inference engines every pwl deployment surface accepts: "dense" gathers
+# from the precomputed all-codes tables, "legacy" re-runs the Fig. 1b
+# comparer pipeline per pass.  The two are bit-identical.
+ENGINES = ("dense", "legacy")
+
+
+def check_engine(engine: str) -> str:
+    """Validate an engine name, returning it unchanged."""
+    if engine not in ENGINES:
+        raise ValueError("unknown engine %r; expected one of %s" % (engine, ENGINES))
+    return engine
 
 
 @dataclasses.dataclass(frozen=True)
@@ -90,6 +115,13 @@ class QuantizedLUT:
     frac_bits:
         Decimal bit-width ``lambda`` used for the stored slopes/intercepts
         and for the shifter output.
+
+    The derived arrays (:attr:`quantized_breakpoints`, :attr:`stored_slopes`,
+    :attr:`stored_intercepts`, :attr:`shifted_intercepts`) are cached
+    properties — the dataclass is frozen, so they can never go stale — and
+    repeated access during a lookup does not re-run the clip/round/FXP
+    pipeline (``functools.cached_property`` writes to the instance
+    ``__dict__`` directly, bypassing the frozen ``__setattr__``).
     """
 
     pwl: PiecewiseLinear
@@ -115,23 +147,23 @@ class QuantizedLUT:
         """Right-shift amount implementing the division by ``S``."""
         return power_of_two_exponent(self.scale)
 
-    @property
+    @functools.cached_property
     def quantized_breakpoints(self) -> np.ndarray:
         """Breakpoints quantized to the input integer grid (Eq. 3)."""
         qn, qp = quant_bounds(self.spec.bits, self.spec.signed)
         return np.clip(np.round(self.pwl.breakpoints / self.scale), qn, qp)
 
-    @property
+    @functools.cached_property
     def stored_slopes(self) -> np.ndarray:
         """FXP slopes as stored in the LUT."""
         return fxp_round(self.pwl.slopes, self.frac_bits)
 
-    @property
+    @functools.cached_property
     def stored_intercepts(self) -> np.ndarray:
         """FXP intercepts as stored in the LUT (pre-shift values)."""
         return fxp_round(self.pwl.intercepts, self.frac_bits)
 
-    @property
+    @functools.cached_property
     def shifted_intercepts(self) -> np.ndarray:
         """Run-time intercepts ``b_i >> log2(S)`` produced by the shifter."""
         return fxp_round(self.stored_intercepts / self.scale, self.frac_bits)
@@ -174,6 +206,188 @@ class QuantizedLUT:
     def with_scale(self, scale: float) -> "QuantizedLUT":
         """Re-target the same searched parameters to a new scaling factor."""
         return QuantizedLUT(pwl=self.pwl, scale=scale, spec=self.spec, frac_bits=self.frac_bits)
+
+    def to_dense(self) -> "DenseLUT":
+        """Materialise this unit as a :class:`DenseLUT` gather table."""
+        return DenseLUT.from_quantized(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class DenseLUT:
+    """All-codes materialisation of the Fig. 1b pipeline (the deployed LUT).
+
+    A ``bits``-bit input only takes ``2^bits`` values, so the comparer +
+    multiplier + shifter pipeline of :class:`QuantizedLUT` can be evaluated
+    once per code at build time and stored densely:
+
+    * :attr:`outputs` — ``outputs[q - qmin]`` is the *dequantized* pipeline
+      output for code ``q``, bit-identical to
+      ``QuantizedLUT.lookup_dequantized(q)``.
+    * :attr:`segment_slopes` — the FXP slope of the segment the comparer
+      selects for code ``q``; this is the exact derivative of the deployed
+      approximation, used by the fine-tuning backward pass.
+
+    A real-valued lookup is then quantize-once + gather, replacing the
+    per-call ``searchsorted`` + fancy indexing + rescaling of the pipeline
+    form.  This is exactly the table a hardware deployment (and the NN-LUT
+    baseline) burns into SRAM.
+    """
+
+    pwl: PiecewiseLinear
+    scale: float
+    spec: QuantSpec = QuantSpec(bits=8, signed=True)
+    frac_bits: int = 5
+    outputs: Optional[np.ndarray] = None
+    segment_slopes: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if (self.outputs is None) != (self.segment_slopes is None):
+            raise ValueError(
+                "outputs and segment_slopes must be supplied together "
+                "(or both omitted to derive them from the pwl)"
+            )
+        if self.outputs is None:
+            reference = QuantizedLUT(
+                pwl=self.pwl, scale=self.scale, spec=self.spec, frac_bits=self.frac_bits
+            )
+            codes = np.arange(self.spec.qmin, self.spec.qmax + 1, dtype=np.float64)
+            idx = reference.segment_index(codes)
+            object.__setattr__(self, "outputs", reference.lookup_dequantized(codes))
+            object.__setattr__(self, "segment_slopes", reference.stored_slopes[idx])
+        outputs = np.asarray(self.outputs, dtype=np.float64)
+        slopes = np.asarray(self.segment_slopes, dtype=np.float64)
+        if outputs.shape != (self.spec.num_levels,) or slopes.shape != outputs.shape:
+            raise ValueError(
+                "dense tables must hold one entry per code (%d), got %r / %r"
+                % (self.spec.num_levels, outputs.shape, slopes.shape)
+            )
+        object.__setattr__(self, "outputs", outputs)
+        object.__setattr__(self, "segment_slopes", slopes)
+        # Division by the power-of-two scale is an exact exponent shift, so
+        # quantizing with a multiply is bit-identical and faster.
+        object.__setattr__(self, "_inv_scale", 1.0 / self.scale)
+        object.__setattr__(self, "_qmin", float(self.spec.qmin))
+        object.__setattr__(self, "_qmax", float(self.spec.qmax))
+        # Extended gather tables with one sentinel row for NaN inputs, which
+        # survive the clip and would otherwise index garbage.  The sentinel
+        # replicates the legacy pipeline bitwise: its comparer sends NaN to
+        # the last segment, so the output is NaN (slope * NaN + b) while the
+        # selected slope is the top segment's finite value.
+        object.__setattr__(
+            self, "_outputs_ext", np.concatenate([outputs, [np.nan]])
+        )
+        object.__setattr__(
+            self, "_slopes_ext", np.concatenate([slopes, [slopes[-1]]])
+        )
+
+    @classmethod
+    def from_quantized(cls, lut: QuantizedLUT) -> "DenseLUT":
+        """Build the dense form of an existing :class:`QuantizedLUT`."""
+        return cls(pwl=lut.pwl, scale=lut.scale, spec=lut.spec, frac_bits=lut.frac_bits)
+
+    @property
+    def num_codes(self) -> int:
+        """Table length ``2^bits``."""
+        return int(self.outputs.size)
+
+    def _offsets(self, q: np.ndarray) -> np.ndarray:
+        """Map clipped codes to extended-table offsets (NaN → sentinel row).
+
+        ``q`` is already clipped to ``[qmin, qmax]``, so its sum is finite
+        unless NaN lanes survived the clip — one allocation-free reduction
+        guards the common all-finite path.  NaN lanes are redirected to the
+        sentinel offset *before* the integer cast, so no invalid-cast
+        warning is emitted.
+        """
+        offsets = q - self._qmin
+        if not np.isfinite(q.sum()):
+            offsets = np.where(np.isnan(q), float(self.num_codes), offsets)
+        return offsets.astype(np.intp)
+
+    def table_indices(self, x) -> np.ndarray:
+        """Quantize real inputs to extended-table offsets (one pass)."""
+        arr = np.asarray(x, dtype=np.float64)
+        q = np.clip(np.round(arr * self._inv_scale), self._qmin, self._qmax)
+        return self._offsets(q)
+
+    def code_indices(self, q) -> np.ndarray:
+        """Table offsets for integer codes, saturated to the spec's range.
+
+        Codes outside ``[qmin, qmax]`` clamp to the boundary entries (the
+        quantizer in front of a deployed LUT clips before lookup, so such
+        codes cannot occur in-pipeline).
+        """
+        codes = np.clip(np.asarray(q, dtype=np.float64), self._qmin, self._qmax)
+        return self._offsets(codes)
+
+    def lookup_codes(self, q) -> np.ndarray:
+        """Dequantized outputs for integer codes ``q`` (single gather)."""
+        return self._outputs_ext[self.code_indices(q)]
+
+    def slope_codes(self, q) -> np.ndarray:
+        """Selected-segment slopes for integer codes ``q``."""
+        return self._slopes_ext[self.code_indices(q)]
+
+    def __call__(self, x) -> np.ndarray:
+        """Real-domain lookup: quantize once, gather the output table."""
+        return self._outputs_ext[self.table_indices(x)]
+
+    def lookup_with_slope(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Fused lookup: one quantize pass, output *and* slope gathers.
+
+        This is the fine-tuning fast path: the forward value and the exact
+        backward slope come from the same table offsets, so the training
+        step quantizes each activation once instead of three times.
+        """
+        idx = self.table_indices(x)
+        return self._outputs_ext[idx], self._slopes_ext[idx]
+
+    def storage_bits(self) -> int:
+        """Dense storage: one output word plus one slope word per code."""
+        return 2 * self.num_codes * self.spec.bits
+
+
+# -- Dense-table cache ----------------------------------------------------------------
+#
+# The fine-tuning modules evaluate the same frozen pwl under a scale that
+# changes only when the LSQ power-of-two quantizer steps to a new exponent.
+# Tables are therefore cached process-wide, keyed by pwl identity + scale +
+# format.  Entries hold strong references to their pwl, which keeps ``id``
+# stable for the lifetime of the entry; the LRU bound keeps the cache from
+# growing without limit.
+
+_DENSE_LUT_CACHE: "collections.OrderedDict[Tuple[int, float, int, bool, int], DenseLUT]" = (
+    collections.OrderedDict()
+)
+_DENSE_LUT_CACHE_SIZE = 256
+
+
+def dense_lut_for(
+    pwl: PiecewiseLinear,
+    scale: float,
+    spec: QuantSpec = QuantSpec(bits=8, signed=True),
+    frac_bits: int = 5,
+) -> DenseLUT:
+    """Return the (cached) :class:`DenseLUT` for ``pwl`` at ``scale``.
+
+    Repeated calls with the same arguments return the same table object;
+    a new scale (or pwl / format) builds and caches a new table.
+    """
+    key = (id(pwl), float(scale), spec.bits, spec.signed, frac_bits)
+    hit = _DENSE_LUT_CACHE.get(key)
+    if hit is not None and hit.pwl is pwl:
+        _DENSE_LUT_CACHE.move_to_end(key)
+        return hit
+    table = DenseLUT(pwl=pwl, scale=float(scale), spec=spec, frac_bits=frac_bits)
+    _DENSE_LUT_CACHE[key] = table
+    while len(_DENSE_LUT_CACHE) > _DENSE_LUT_CACHE_SIZE:
+        _DENSE_LUT_CACHE.popitem(last=False)
+    return table
+
+
+def dense_lut_cache_clear() -> None:
+    """Drop every cached dense table (tests and memory-pressure hooks)."""
+    _DENSE_LUT_CACHE.clear()
 
 
 @dataclasses.dataclass(frozen=True)

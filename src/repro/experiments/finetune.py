@@ -25,6 +25,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
 
 import numpy as np
 
+from repro.core.lut import check_engine
 from repro.core.pwl import PiecewiseLinear
 from repro.data.synthetic_segmentation import (
     SyntheticSegmentationConfig,
@@ -52,6 +53,13 @@ class FinetuneBudget:
     embed_dim: int = 32
     depth: int = 2
     seed: int = 0
+    # Operator inference engine for the pwl suites: "dense" gathers from
+    # precomputed all-codes tables, "legacy" re-runs the Fig. 1b pipeline
+    # per pass.  Seeded runs are bit-identical across engines.
+    engine: str = "dense"
+
+    def __post_init__(self) -> None:
+        check_engine(self.engine)
 
     @classmethod
     def quick(cls) -> "FinetuneBudget":
@@ -200,7 +208,8 @@ def run_finetune_experiment(
     for method in methods:
         per_method = {op: approximations[(op, method)] for op in operators}
         for name, replace in replacements:
-            suite = PWLSuite(approximations=per_method, replace=set(replace))
+            suite = PWLSuite(approximations=per_method, replace=set(replace),
+                             engine=budget.engine)
             model = _build_model(model_cls, model_config, suite)
             miou = finetune(model)
             rows.append(

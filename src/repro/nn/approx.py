@@ -23,7 +23,7 @@ from typing import Callable, Dict, Iterable, Optional, Set
 
 import numpy as np
 
-from repro.core.lut import QuantizedLUT
+from repro.core.lut import DenseLUT, QuantizedLUT, check_engine, dense_lut_for
 from repro.core.pwl import PiecewiseLinear
 from repro.functions.nonlinear import NonLinearFunction
 from repro.functions.registry import get_function
@@ -31,9 +31,9 @@ from repro.nn import functional as F
 from repro.nn.layers import GELU, HSwish, LayerNorm
 from repro.nn.module import Module, Parameter
 from repro.nn.quantization import PowerOfTwoQuantizer
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.quant.quantizer import QuantSpec
 from repro.scaling.multi_range import MultiRangePWL, MultiRangeScaling, default_multi_range
-
 
 class PWLElementwise(Module):
     """Element-wise pwl application with segment-slope gradients."""
@@ -82,28 +82,55 @@ class PWLActivation(Module):
         pwl: PiecewiseLinear,
         bits: int = 8,
         frac_bits: int = 5,
+        engine: str = "dense",
     ) -> None:
         super().__init__()
         self.name = name
         self.pwl = pwl
         self.bits = bits
         self.frac_bits = frac_bits
+        self.engine = check_engine(engine)
         self.quantizer = PowerOfTwoQuantizer(bits=bits, signed=True)
+        self._spec = QuantSpec(bits=bits, signed=True)
+        self._dense_table: Optional[DenseLUT] = None
+        self._dense_version = -1
 
     def _lut(self) -> QuantizedLUT:
-        from repro.quant.quantizer import QuantSpec
-
         scale = self.quantizer.current_scale()
         return QuantizedLUT(
             pwl=self.pwl,
             scale=scale,
-            spec=QuantSpec(bits=self.bits, signed=True),
+            spec=self._spec,
             frac_bits=self.frac_bits,
         )
 
+    def _dense(self) -> DenseLUT:
+        """The dense table for the quantizer's current scale.
+
+        Invalidation is driven by the quantizer's scale version, so the
+        table survives across training steps and is only rebuilt (or
+        re-fetched from the process-wide cache) when the power-of-two scale
+        actually steps to a new exponent.
+        """
+        version = self.quantizer.scale_version()
+        if self._dense_table is None or self._dense_version != version:
+            self._dense_table = dense_lut_for(
+                self.pwl,
+                self.quantizer.current_scale(),
+                spec=self._spec,
+                frac_bits=self.frac_bits,
+            )
+            self._dense_version = version
+        return self._dense_table
+
     def forward(self, x: Tensor) -> Tensor:
-        if not self.quantizer._initialised:
+        if not self.quantizer.initialised:
             self.quantizer.initialise_from(x.data)
+        if self.engine == "dense":
+            table = self._dense()
+            if is_grad_enabled() and x.requires_grad:
+                return x.apply_elementwise_fused(table.lookup_with_slope)
+            return Tensor(table(x.data))
         lut = self._lut()
 
         def forward_fn(data: np.ndarray) -> np.ndarray:
@@ -126,29 +153,34 @@ class PWLWideRange(Module):
         pwl: PiecewiseLinear,
         scaling: Optional[MultiRangeScaling] = None,
         frac_bits: int = 5,
+        engine: str = "dense",
     ) -> None:
         super().__init__()
         self.name = name
+        self.engine = check_engine(engine)
         self.scaling = scaling or default_multi_range(name)
         self.wrapped = MultiRangePWL(pwl=pwl, scaling=self.scaling, frac_bits=frac_bits)
 
     def forward(self, x: Tensor) -> Tensor:
         wrapped = self.wrapped
+        if self.engine == "dense":
+            # Wide-range inputs are not integer codes, so there is no dense
+            # table; the engine win here is the fused single-classification
+            # pass that produces output and slope together.
+            if is_grad_enabled() and x.requires_grad:
+                return x.apply_elementwise_fused(wrapped.lookup_with_slope)
+            return Tensor(wrapped.lookup(x.data))
         fxp = wrapped.fxp_pwl
 
         def forward_fn(data: np.ndarray) -> np.ndarray:
             return wrapped(data)
 
         def slope_fn(data: np.ndarray) -> np.ndarray:
-            scaled, factor = wrapped.scaling.rescale_input(data)
-            idx = fxp.segment_index(scaled)
             # d/dx [ factor * pwl(scale * x) ] = factor * slope * scale; the
             # input scale equals factor**(1/rescale_power) only for DIV, so
-            # recompute it explicitly from the classification.
-            input_scale = np.ones_like(data)
-            classified = wrapped.scaling.classify(data)
-            for i, sub in enumerate(wrapped.scaling.sub_ranges):
-                input_scale = np.where(classified == i, sub.scale, input_scale)
+            # it comes explicitly from the classification.
+            scaled, factor, input_scale = wrapped.scaling.rescale_input_with_scale(data)
+            idx = fxp.segment_index(scaled)
             return factor * fxp.slopes[idx] * input_scale
 
         return x.apply_elementwise(forward_fn, slope_fn)
@@ -254,6 +286,10 @@ class PWLSuite(OperatorSuite):
         Tables 4 and 5 ("EXP only", "GELU only", ..., "Altogether").
     bits, frac_bits:
         Deployment precision of the pwl units.
+    engine:
+        Operator inference engine: ``"dense"`` (precomputed gather tables,
+        fused forward/backward) or ``"legacy"`` (per-pass Fig. 1b pipeline).
+        Seeded fine-tuning runs are bit-identical across engines.
     """
 
     approximations: Dict[str, PiecewiseLinear]
@@ -261,6 +297,10 @@ class PWLSuite(OperatorSuite):
     bits: int = 8
     frac_bits: int = 5
     name: str = "pwl"
+    engine: str = "dense"
+
+    def __post_init__(self) -> None:
+        check_engine(self.engine)
 
     def _should_replace(self, op: str) -> bool:
         return op in self.replace and op in self.approximations
@@ -268,22 +308,24 @@ class PWLSuite(OperatorSuite):
     def activation(self, kind: str) -> Module:
         if self._should_replace(kind):
             return PWLActivation(kind, self.approximations[kind], bits=self.bits,
-                                 frac_bits=self.frac_bits)
+                                 frac_bits=self.frac_bits, engine=self.engine)
         return QuantizedActivation(kind, bits=self.bits)
 
     def exp_fn(self) -> Callable[[Tensor], Tensor]:
         if self._should_replace("exp"):
             return PWLActivation("exp", self.approximations["exp"], bits=self.bits,
-                                 frac_bits=self.frac_bits)
+                                 frac_bits=self.frac_bits, engine=self.engine)
         return QuantizedActivation("exp", bits=self.bits)
 
     def reciprocal_fn(self) -> Callable[[Tensor], Tensor]:
         if self._should_replace("div"):
-            return PWLWideRange("div", self.approximations["div"], frac_bits=self.frac_bits)
+            return PWLWideRange("div", self.approximations["div"],
+                                frac_bits=self.frac_bits, engine=self.engine)
         return lambda t: 1.0 / t
 
     def layer_norm(self, num_features: int) -> Module:
         if self._should_replace("rsqrt"):
-            rsqrt = PWLWideRange("rsqrt", self.approximations["rsqrt"], frac_bits=self.frac_bits)
+            rsqrt = PWLWideRange("rsqrt", self.approximations["rsqrt"],
+                                 frac_bits=self.frac_bits, engine=self.engine)
             return PWLLayerNorm(num_features, rsqrt)
         return LayerNorm(num_features)

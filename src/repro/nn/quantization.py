@@ -41,6 +41,13 @@ class LSQQuantizer(Module):
         self.qmin, self.qmax = quant_bounds(bits, signed)
         self.scale = Parameter(np.asarray([1.0]))
         self._initialised = False
+        self._version = 0
+        self._version_scale: Optional[float] = None
+
+    @property
+    def initialised(self) -> bool:
+        """Whether the scale has been initialised from observed data."""
+        return self._initialised
 
     def initialise_from(self, x: np.ndarray) -> None:
         """Set the initial scale from a data sample (LSQ init heuristic)."""
@@ -48,6 +55,24 @@ class LSQQuantizer(Module):
         init = max(2.0 * magnitude / math.sqrt(self.qmax), 1e-6)
         self.scale.data = np.asarray([init])
         self._initialised = True
+
+    def scale_version(self) -> int:
+        """Monotone counter identifying the current deployed scale.
+
+        The scale parameter is mutated externally (optimiser steps,
+        re-initialisation), so the version is maintained by observation:
+        each call compares the deployed scale against the last observed
+        value and bumps the counter when it changed.  Consumers caching
+        per-scale artefacts — the dense-LUT engine — compare versions
+        instead of tracking the float themselves.  For a
+        :class:`PowerOfTwoQuantizer` the deployed scale is the snapped
+        ``2^e``, so the version only moves when the exponent actually steps.
+        """
+        current = self.current_scale()
+        if current != self._version_scale:
+            self._version_scale = current
+            self._version += 1
+        return self._version
 
     def effective_scale(self) -> Tensor:
         """The (positive) scale actually used for quantization."""

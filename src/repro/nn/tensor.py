@@ -382,6 +382,29 @@ class Tensor:
 
         return self._make(out_data, (self,), backward)
 
+    def apply_elementwise_fused(
+        self, fused_fn: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
+    ) -> "Tensor":
+        """Element-wise op producing output and derivative in a single pass.
+
+        ``fused_fn(x)`` returns ``(y, dy/dx)`` together; the derivative is
+        stashed for backward instead of being re-derived from the raw input.
+        This is the dense-LUT fine-tuning path: one quantize feeds both the
+        output gather and the slope gather, and backward is a single multiply.
+        """
+        out_data, slope = fused_fn(self.data)
+        out_data = np.asarray(out_data, dtype=np.float64)
+        if out_data.shape != self.data.shape:
+            raise ValueError("element-wise forward changed the shape")
+        slope = np.asarray(slope, dtype=np.float64)
+        if slope.shape != self.data.shape:
+            raise ValueError("element-wise derivative changed the shape")
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * slope)
+
+        return self._make(out_data, (self,), backward)
+
     # -- graph traversal ------------------------------------------------------------
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:

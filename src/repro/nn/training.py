@@ -61,16 +61,23 @@ class Trainer:
             yield images[idx], labels[idx]
 
     def evaluate(self, images: np.ndarray, labels: np.ndarray, num_classes: int) -> Tuple[float, float]:
-        """Return (mIoU, pixel accuracy) on a dataset."""
+        """Return (mIoU, pixel accuracy) on a dataset.
+
+        The model's train/eval mode is restored afterwards, so evaluating an
+        inference-mode model does not silently flip it back to training.
+        """
+        was_training = self.model.training
         self.model.eval()
         predictions = []
         batch = self.config.batch_size
-        with no_grad():
-            for start in range(0, images.shape[0], batch):
-                chunk = images[start:start + batch]
-                logits = self.model(Tensor(chunk))
-                predictions.append(np.argmax(logits.data, axis=-1))
-        self.model.train()
+        try:
+            with no_grad():
+                for start in range(0, images.shape[0], batch):
+                    chunk = images[start:start + batch]
+                    logits = self.model(Tensor(chunk))
+                    predictions.append(np.argmax(logits.data, axis=-1))
+        finally:
+            self.model.train(was_training)
         predicted = np.concatenate(predictions, axis=0)
         return (
             mean_iou(predicted, labels, num_classes),

@@ -84,21 +84,43 @@ class MultiRangeScaling:
             out[sr.contains(arr)] = i
         return out
 
+    def _sweep(self, x, with_scale: bool):
+        """The sub-range mask sweep, optionally also producing ``S'``.
+
+        Single implementation shared by :meth:`rescale_input` and
+        :meth:`rescale_input_with_scale`; ``input_scale`` is only allocated
+        when a caller needs the derivative factor.
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        idx = self.classify(arr)
+        scaled = arr.copy()
+        factor = np.ones_like(arr)
+        input_scale = np.ones_like(arr) if with_scale else None
+        for i, sr in enumerate(self.sub_ranges):
+            mask = idx == i
+            scaled = np.where(mask, arr * sr.scale, scaled)
+            factor = np.where(mask, sr.scale ** self.rescale_power, factor)
+            if with_scale:
+                input_scale = np.where(mask, sr.scale, input_scale)
+        return scaled, factor, input_scale
+
     def rescale_input(self, x) -> Tuple[np.ndarray, np.ndarray]:
         """Map inputs into ``I_R`` and return ``(scaled_x, output_factor)``.
 
         ``output_factor`` is the per-element multiplier to apply to the pwl
         output (``S'^rescale_power``; 1.0 for in-range inputs).
         """
-        arr = np.asarray(x, dtype=np.float64)
-        idx = self.classify(arr)
-        scaled = arr.copy()
-        factor = np.ones_like(arr)
-        for i, sr in enumerate(self.sub_ranges):
-            mask = idx == i
-            scaled = np.where(mask, arr * sr.scale, scaled)
-            factor = np.where(mask, sr.scale ** self.rescale_power, factor)
+        scaled, factor, _ = self._sweep(x, with_scale=False)
         return scaled, factor
+
+    def rescale_input_with_scale(self, x) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Like :meth:`rescale_input`, also returning the input scale ``S'``.
+
+        The fused lookup and the derivative path both need the per-element
+        input scale (``d/dx [factor * pwl(S' x)] = factor * slope * S'``),
+        so it is produced alongside ``scaled_x`` and ``output_factor``.
+        """
+        return self._sweep(x, with_scale=True)
 
     def coverage_upper_bound(self) -> float:
         """Largest input covered (inf when the last sub-range is unbounded)."""
@@ -166,6 +188,37 @@ class MultiRangePWL:
             slopes=fxp_round(self.pwl.slopes, self.frac_bits),
             intercepts=fxp_round(self.pwl.intercepts, self.frac_bits),
         )
+        self._build_slot_tables()
+
+    def _build_slot_tables(self) -> None:
+        """Precompute the dense sub-range classification tables.
+
+        The sub-range edges ``[l_0, u_0, l_1, u_1, ...]`` split the real line
+        into ``2n + 1`` slots; one ``searchsorted(side="right")`` maps every
+        input to its slot, and per-slot gather tables give the input scale
+        and output correction factor directly — replacing one boolean
+        mask + ``np.where`` sweep per sub-range.  Odd slots are inside
+        sub-range ``(slot - 1) / 2``; even slots (gaps and ``I_R``) keep
+        scale/factor 1.  Requires non-decreasing edges (true for any
+        non-overlapping Table 2 setup); otherwise the generic mask loop is
+        used.
+        """
+        subs = self.scaling.sub_ranges
+        edges = np.array([e for sr in subs for e in (sr.lower, sr.upper)], dtype=np.float64)
+        if edges.size and np.any(np.diff(edges) < 0):
+            self._slot_edges = None
+            self._slot_scales = None
+            self._slot_factors = None
+            return
+        power = self.scaling.rescale_power
+        scales = np.ones(2 * len(subs) + 1, dtype=np.float64)
+        factors = np.ones_like(scales)
+        for i, sr in enumerate(subs):
+            scales[2 * i + 1] = sr.scale
+            factors[2 * i + 1] = sr.scale ** power
+        self._slot_edges = edges
+        self._slot_scales = scales
+        self._slot_factors = factors
 
     @property
     def fxp_pwl(self) -> PiecewiseLinear:
@@ -177,6 +230,51 @@ class MultiRangePWL:
         arr = np.asarray(x, dtype=np.float64)
         scaled, factor = self.scaling.rescale_input(arr)
         return factor * self._fxp_pwl(scaled)
+
+    def lookup(self, x) -> np.ndarray:
+        """Forward-only fast path over the precomputed slot tables.
+
+        Bit-identical to ``self(x)`` (pinned by the engine-parity tests) but
+        classifies with a single ``searchsorted`` instead of the per-sub-range
+        mask sweep — the inference/no-grad path of the dense engine.  Falls
+        back to the generic ``__call__`` when the slot tables are unavailable
+        (overlapping sub-ranges).
+        """
+        if self._slot_edges is None:
+            return self(x)
+        arr = np.asarray(x, dtype=np.float64)
+        slot = np.searchsorted(self._slot_edges, arr, side="right")
+        scaled = arr * self._slot_scales[slot]
+        idx = self._fxp_pwl.segment_index(scaled)
+        return self._slot_factors[slot] * (
+            self._fxp_pwl.slopes[idx] * scaled + self._fxp_pwl.intercepts[idx]
+        )
+
+    def lookup_with_slope(self, x) -> Tuple[np.ndarray, np.ndarray]:
+        """Output and exact ``d/dx`` from a single classify/rescale pass.
+
+        The separate forward/backward path classifies the input three times
+        (rescale for the output, rescale plus classify again for the slope);
+        here the sub-range classification runs once — a single
+        ``searchsorted`` against the precomputed slot tables — and feeds the
+        output, the output correction factor and the input scale together.
+        The returned values are bit-identical to ``self(x)`` and to
+        ``factor * slopes[idx] * input_scale`` from the separate path, since
+        every factor is gathered from the same scalar values and combined in
+        the same order (in-range inputs multiply by exactly 1.0).
+        """
+        arr = np.asarray(x, dtype=np.float64)
+        if self._slot_edges is not None:
+            slot = np.searchsorted(self._slot_edges, arr, side="right")
+            input_scale = self._slot_scales[slot]
+            factor = self._slot_factors[slot]
+            scaled = arr * input_scale
+        else:
+            scaled, factor, input_scale = self.scaling.rescale_input_with_scale(arr)
+        idx = self._fxp_pwl.segment_index(scaled)
+        slopes = self._fxp_pwl.slopes[idx]
+        outputs = factor * (slopes * scaled + self._fxp_pwl.intercepts[idx])
+        return outputs, factor * slopes * input_scale
 
     def mse(self, function: NonLinearFunction, inputs) -> float:
         """MSE of the wrapped approximation against the exact operator."""

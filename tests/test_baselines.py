@@ -156,3 +156,41 @@ class TestIBert:
         exact = exact / exact.sum(-1, keepdims=True)
         approx = IBertSoftmax()(logits)
         assert np.max(np.abs(approx - exact)) < 0.02
+
+
+class TestNNLUTDeployment:
+    """NN-LUT routed through the dense / legacy inference engines."""
+
+    def test_deploy_engines_bit_identical_over_all_codes(self, trained_gelu_nnlut):
+        import numpy as np
+
+        from repro.core.lut import DenseLUT, QuantizedLUT
+
+        scale = 2.0 ** -4
+        dense = trained_gelu_nnlut.deploy(scale, engine="dense")
+        legacy = trained_gelu_nnlut.deploy(scale, engine="legacy")
+        assert isinstance(dense, DenseLUT)
+        assert isinstance(legacy, QuantizedLUT)
+        codes = np.arange(legacy.spec.qmin, legacy.spec.qmax + 1, dtype=np.float64)
+        np.testing.assert_array_equal(
+            dense.lookup_codes(codes), legacy.lookup_dequantized(codes)
+        )
+        x = np.linspace(-4.0, 4.0, 333)
+        np.testing.assert_array_equal(dense(x), legacy(x))
+
+    def test_deploy_trains_untrained_network(self):
+        nn = NNLUT(
+            get_function("gelu"),
+            num_entries=8,
+            config=NNLUTTrainingConfig(num_samples=500, iterations=20, seed=0),
+        )
+        assert not nn._trained
+        dense = nn.deploy(0.25)
+        assert nn._trained
+        assert dense.num_codes == 256
+
+    def test_deploy_rejects_unknown_engine(self, trained_gelu_nnlut):
+        import pytest
+
+        with pytest.raises(ValueError):
+            trained_gelu_nnlut.deploy(0.25, engine="turbo")

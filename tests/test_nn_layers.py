@@ -251,7 +251,7 @@ class TestQuantizationLayers:
         quant = LSQQuantizer(bits=8)
         x = Tensor(np.random.default_rng(0).standard_normal((4, 4)))
         quant(x)
-        assert quant._initialised
+        assert quant.initialised
         assert quant.current_scale() > 0
 
     def test_lsq_roundtrip_error_bounded(self):
