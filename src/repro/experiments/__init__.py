@@ -2,19 +2,41 @@
 
 Each module exposes a ``run_*`` function returning a plain-python result
 object plus a ``format_*`` helper that renders it in the shape of the
-paper's table/figure.  The benchmark harnesses under ``benchmarks/`` and the
-example scripts call these runners with budgets appropriate to their
-context (quick smoke settings for CI, fuller settings for the recorded
-EXPERIMENTS.md numbers).
+paper's table/figure.  The runners enumerate their approximation cells as
+:class:`~repro.experiments.jobs.ApproximationJob` batches and execute them
+through the sweep engine (:class:`~repro.experiments.jobs.SweepEngine`),
+which deduplicates cells across experiments, caches artifacts in process
+and optionally on disk, and can fan independent cells over a process pool;
+:func:`~repro.experiments.run_all.run_all_experiments` regenerates the
+whole evaluation from one deduplicated pass.  The benchmark harnesses
+under ``benchmarks/`` and the example scripts call these runners with
+budgets appropriate to their context (quick smoke settings for CI, fuller
+settings for the recorded EXPERIMENTS.md numbers).
 """
 
 from repro.experiments.methods import (
     ApproximationBudget,
     build_approximation,
     build_approximations,
+    compute_approximation,
     METHODS,
 )
-from repro.experiments.fig2 import run_fig2a, run_fig2b, format_fig2a, format_fig2b
+from repro.experiments.artifacts import ArtifactCache, ArtifactStore
+from repro.experiments.jobs import (
+    ApproximationJob,
+    SweepEngine,
+    SweepStats,
+    approximation_jobs,
+    default_engine,
+    set_default_engine,
+)
+from repro.experiments.fig2 import (
+    run_fig2,
+    run_fig2a,
+    run_fig2b,
+    format_fig2a,
+    format_fig2b,
+)
 from repro.experiments.fig3 import run_fig3, format_fig3
 from repro.experiments.table3 import run_table3, format_table3
 from repro.experiments.finetune import (
@@ -25,12 +47,27 @@ from repro.experiments.finetune import (
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 from repro.experiments.table6 import run_table6, format_table6_experiment
+from repro.experiments.run_all import (
+    AllExperimentsResult,
+    all_experiment_jobs,
+    run_all_experiments,
+)
 
 __all__ = [
     "ApproximationBudget",
+    "ApproximationJob",
+    "ArtifactCache",
+    "ArtifactStore",
+    "SweepEngine",
+    "SweepStats",
+    "approximation_jobs",
     "build_approximation",
     "build_approximations",
+    "compute_approximation",
+    "default_engine",
+    "set_default_engine",
     "METHODS",
+    "run_fig2",
     "run_fig2a",
     "run_fig2b",
     "format_fig2a",
@@ -46,4 +83,7 @@ __all__ = [
     "run_table5",
     "run_table6",
     "format_table6_experiment",
+    "AllExperimentsResult",
+    "all_experiment_jobs",
+    "run_all_experiments",
 ]

@@ -1,0 +1,141 @@
+"""Two-tier content-addressed cache for approximation artifacts.
+
+Every cell of the paper's evaluation grid — one ``(operator, method,
+num_entries, budget)`` approximation — produces a small, immutable
+:class:`~repro.core.pwl.PiecewiseLinear`.  The cells are rebuilt by several
+experiments (Table 3, Fig. 2, Fig. 3, the Table 4/5 fine-tuning and the
+benchmarks all draw from the same grid), so the sweep engine addresses them
+by a stable content hash of the job description (see
+:mod:`repro.experiments.jobs`) and stores the results in two tiers:
+
+* **memory** — a plain in-process dict, shared by every experiment runner
+  that goes through the same :class:`~repro.experiments.jobs.SweepEngine`;
+* **disk** (optional) — one ``<key>.npz`` per artifact holding the pwl's
+  breakpoints/slopes/intercepts, so table, figure and benchmark invocations
+  in *different* processes share results too.
+
+The disk store is deliberately forgiving: a missing, truncated or otherwise
+unreadable artifact is treated as a miss and the cell is recomputed (and the
+artifact rewritten), never raised to the caller.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import zipfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.pwl import PiecewiseLinear
+
+# Array names stored per artifact; everything else about a pwl is derived.
+_ARRAY_FIELDS = ("breakpoints", "slopes", "intercepts")
+
+
+class ArtifactStore:
+    """On-disk artifact tier: one ``.npz`` of pwl arrays per cache key.
+
+    Parameters
+    ----------
+    directory:
+        Directory holding the artifacts; created on first use.  Selectable
+        per-engine or process-wide through the ``REPRO_ARTIFACT_DIR``
+        environment variable (see :func:`repro.experiments.jobs.default_engine`).
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Path:
+        """The artifact file backing ``key``."""
+        return self.directory / ("%s.npz" % key)
+
+    def load(self, key: str) -> Optional[PiecewiseLinear]:
+        """Read an artifact; ``None`` on miss *or* on a corrupted file."""
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                arrays = {field: np.asarray(data[field]) for field in _ARRAY_FIELDS}
+            return PiecewiseLinear(**arrays)
+        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+            # Corrupted or foreign file: treat as a miss so the engine
+            # recomputes the cell and rewrites a valid artifact.
+            return None
+
+    def save(self, key: str, pwl: PiecewiseLinear) -> Path:
+        """Write an artifact atomically (write-to-temp + rename)."""
+        path = self.path_for(key)
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".%s-" % key[:16], suffix=".npz.tmp", dir=str(self.directory)
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(
+                    handle,
+                    breakpoints=pwl.breakpoints,
+                    slopes=pwl.slopes,
+                    intercepts=pwl.intercepts,
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def keys(self) -> list:
+        """Keys of every (syntactically valid) artifact currently on disk."""
+        return [p.stem for p in sorted(self.directory.glob("*.npz"))]
+
+
+class ArtifactCache:
+    """Two-tier cache: in-process dict backed by an optional disk store.
+
+    A disk hit is promoted into the memory tier, so repeated pulls of the
+    same cell within one process read the file once.  Hit/miss counters are
+    cumulative over the cache's lifetime; :class:`SweepEngine` snapshots
+    them around each run to report per-run statistics.
+    """
+
+    def __init__(self, store: Optional[ArtifactStore] = None) -> None:
+        self.store = store
+        self._memory: Dict[str, PiecewiseLinear] = {}
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+
+    def load(self, key: str) -> Optional[PiecewiseLinear]:
+        """Look ``key`` up through both tiers, counting the hit level."""
+        hit = self._memory.get(key)
+        if hit is not None:
+            self.memory_hits += 1
+            return hit
+        if self.store is not None:
+            hit = self.store.load(key)
+            if hit is not None:
+                self._memory[key] = hit
+                self.disk_hits += 1
+                return hit
+        self.misses += 1
+        return None
+
+    def put(self, key: str, pwl: PiecewiseLinear) -> None:
+        """Insert into the memory tier and persist when a store is attached."""
+        self._memory[key] = pwl
+        if self.store is not None:
+            self.store.save(key, pwl)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the in-process tier (the disk store is left untouched)."""
+        self._memory.clear()

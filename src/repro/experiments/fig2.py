@@ -13,15 +13,16 @@
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import default_config
 from repro.core.evaluation import DEFAULT_SCALES
-from repro.core.pwl import PiecewiseLinear, fit_pwl
-from repro.experiments.methods import ApproximationBudget, METHODS, build_approximation
-from repro.experiments.protocol import normalize, scale_sweep_mse
+from repro.core.pwl import fit_pwl
+from repro.experiments.jobs import ApproximationJob, SweepEngine, default_engine
+from repro.experiments.methods import ApproximationBudget, METHODS
+from repro.experiments.protocol import scale_sweep_mse
 from repro.quant.quantizer import quant_bounds
 
 
@@ -48,6 +49,21 @@ class Fig2aResult:
         return float(ref / got) if got > 0 else float("inf")
 
 
+def fig2a_jobs(
+    operator: str = "gelu",
+    num_entries: int = 8,
+    methods: Sequence[str] = METHODS,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Dict[str, ApproximationJob]:
+    """The per-method cells Fig. 2(a) draws from, keyed by method."""
+    return {
+        method: ApproximationJob(
+            operator=operator, method=method, num_entries=num_entries, budget=budget
+        )
+        for method in methods
+    }
+
+
 def run_fig2a(
     operator: str = "gelu",
     num_entries: int = 8,
@@ -55,13 +71,17 @@ def run_fig2a(
     methods: Sequence[str] = METHODS,
     budget: ApproximationBudget = ApproximationBudget(),
     large_scale_threshold: float = 2.0 ** -2,
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> Fig2aResult:
     """Reproduce Fig. 2(a): the GELU MSE-vs-scale comparison."""
+    engine = engine if engine is not None else default_engine()
+    jobs = fig2a_jobs(operator, num_entries, methods, budget)
+    built = engine.run(jobs.values(), workers=workers)
     sweeps: Dict[str, Dict[float, float]] = {}
     share: Dict[str, float] = {}
-    for method in methods:
-        pwl = build_approximation(operator, method, num_entries=num_entries, budget=budget)
-        sweep = scale_sweep_mse(operator, pwl, scales=scales)
+    for method, job in jobs.items():
+        sweep = scale_sweep_mse(operator, built[job.key], scales=scales)
         sweeps[method] = sweep
         total = sum(sweep.values())
         large = sum(v for s, v in sweep.items() if s >= large_scale_threshold)
@@ -111,6 +131,17 @@ class Fig2bResult:
     error_small: float
 
 
+def fig2b_job(
+    operator: str = "exp",
+    num_entries: int = 8,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> ApproximationJob:
+    """The single GQA-LUT w/o RM cell Fig. 2(b) analyses."""
+    return ApproximationJob(
+        operator=operator, method="gqa-wo-rm", num_entries=num_entries, budget=budget
+    )
+
+
 def run_fig2b(
     operator: str = "exp",
     num_entries: int = 8,
@@ -119,15 +150,19 @@ def run_fig2b(
     scale_small: float = 2.0 ** -3,
     budget: ApproximationBudget = ApproximationBudget(),
     bits: int = 8,
+    engine: Optional[SweepEngine] = None,
 ) -> Fig2bResult:
     """Reproduce Fig. 2(b): breakpoint deviation of EXP under two scales.
 
     The GQA-LUT (without RM) approximation of EXP is searched; one of its
     breakpoints is quantized to the INT grid of each scale and the local
-    approximation error around the breakpoint is measured for both.
+    approximation error around the breakpoint is measured for both.  The
+    cell comes from the engine cache when Fig. 2(a) (or any other
+    experiment) already built it.
     """
     config = default_config(operator)
-    pwl = build_approximation(operator, "gqa-wo-rm", num_entries=num_entries, budget=budget)
+    engine = engine if engine is not None else default_engine()
+    pwl = engine.build(fig2b_job(operator, num_entries, budget))
     if not 0 <= breakpoint_index < pwl.breakpoints.size:
         raise ValueError("breakpoint_index out of range")
     p = float(pwl.breakpoints[breakpoint_index])
@@ -178,3 +213,30 @@ def format_fig2b(result: Fig2bResult) -> str:
             % (result.error_large / result.error_small)
         )
     return "\n".join(lines)
+
+
+def run_fig2(
+    num_entries: int = 8,
+    methods: Sequence[str] = METHODS,
+    budget: ApproximationBudget = ApproximationBudget(),
+    fig2a_operator: str = "gelu",
+    fig2b_operator: str = "exp",
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
+) -> Tuple[Fig2aResult, Fig2bResult]:
+    """Both Fig. 2 panels in one deduplicated pass.
+
+    The union of the panels' cells is prefetched through the engine in a
+    single batch, so the ``(operator, "gqa-wo-rm", num_entries)`` pwl the
+    breakpoint-deviation analysis needs is never rebuilt when the sweep of
+    panel (a) — or any earlier experiment — already produced it.
+    """
+    engine = engine if engine is not None else default_engine()
+    jobs = list(fig2a_jobs(fig2a_operator, num_entries, methods, budget).values())
+    jobs.append(fig2b_job(fig2b_operator, num_entries, budget))
+    engine.run(jobs, workers=workers)
+    a = run_fig2a(operator=fig2a_operator, num_entries=num_entries, methods=methods,
+                  budget=budget, engine=engine)
+    b = run_fig2b(operator=fig2b_operator, num_entries=num_entries, budget=budget,
+                  engine=engine)
+    return a, b

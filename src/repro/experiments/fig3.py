@@ -8,12 +8,13 @@ annotates the per-scale improvement factor of GQA-LUT over NN-LUT.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.evaluation import DEFAULT_SCALES
-from repro.experiments.methods import ApproximationBudget, build_approximation
+from repro.experiments.jobs import ApproximationJob, SweepEngine, default_engine
+from repro.experiments.methods import ApproximationBudget
 from repro.experiments.protocol import scale_sweep_mse
 
 
@@ -57,25 +58,45 @@ class Fig3Result:
         return float(ref.sweep[scale] / denominator) if denominator > 0 else float("inf")
 
 
+def fig3_jobs(
+    operators: Sequence[str] = ("gelu", "hswish", "exp"),
+    methods: Sequence[str] = ("nn-lut", "gqa-rm"),
+    entries: Sequence[int] = (8, 16),
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Dict[Tuple[str, str, int], ApproximationJob]:
+    """Every Fig. 3 curve as a job, keyed by (operator, method, entries)."""
+    return {
+        (operator, method, num_entries): ApproximationJob(
+            operator=operator, method=method, num_entries=num_entries, budget=budget
+        )
+        for operator in operators
+        for method in methods
+        for num_entries in entries
+    }
+
+
 def run_fig3(
     operators: Sequence[str] = ("gelu", "hswish", "exp"),
     methods: Sequence[str] = ("nn-lut", "gqa-rm"),
     entries: Sequence[int] = (8, 16),
     scales: Sequence[float] = DEFAULT_SCALES,
     budget: ApproximationBudget = ApproximationBudget(),
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> Fig3Result:
-    """Reproduce the Fig. 3 sweep."""
-    series: List[Fig3Series] = []
-    for operator in operators:
-        for method in methods:
-            for num_entries in entries:
-                pwl = build_approximation(
-                    operator, method, num_entries=num_entries, budget=budget
-                )
-                sweep = scale_sweep_mse(operator, pwl, scales=scales)
-                series.append(
-                    Fig3Series(operator=operator, method=method, num_entries=num_entries, sweep=sweep)
-                )
+    """Reproduce the Fig. 3 sweep (cells deduplicated through the engine)."""
+    engine = engine if engine is not None else default_engine()
+    jobs = fig3_jobs(operators, methods, entries, budget)
+    built = engine.run(jobs.values(), workers=workers)
+    series: List[Fig3Series] = [
+        Fig3Series(
+            operator=operator,
+            method=method,
+            num_entries=num_entries,
+            sweep=scale_sweep_mse(operator, built[job.key], scales=scales),
+        )
+        for (operator, method, num_entries), job in jobs.items()
+    ]
     return Fig3Result(series=series)
 
 

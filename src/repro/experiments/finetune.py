@@ -21,9 +21,7 @@ degradations (the paper's subscripted deltas) can be computed directly.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Type
-
-import numpy as np
+from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.core.lut import check_engine
 from repro.core.pwl import PiecewiseLinear
@@ -31,8 +29,9 @@ from repro.data.synthetic_segmentation import (
     SyntheticSegmentationConfig,
     SyntheticSegmentationDataset,
 )
+from repro.experiments.jobs import SweepEngine
 from repro.experiments.methods import ApproximationBudget, METHODS, build_approximations
-from repro.nn.approx import FloatSuite, PWLSuite, QuantizedBaselineSuite
+from repro.nn.approx import FloatSuite, OperatorSuite, PWLSuite, QuantizedBaselineSuite
 from repro.nn.models import MiniEfficientViT, MiniSegformer, ModelConfig, SegmentationTransformer
 from repro.nn.training import Trainer, TrainingConfig, prepare_quantized_model, transfer_weights
 
@@ -109,7 +108,7 @@ class FinetuneResult:
 def _build_model(
     model_cls: Type[SegmentationTransformer],
     model_config: ModelConfig,
-    suite,
+    suite: OperatorSuite,
 ) -> SegmentationTransformer:
     return model_cls(model_config, suite=suite)
 
@@ -122,6 +121,8 @@ def run_finetune_experiment(
     budget: FinetuneBudget = FinetuneBudget(),
     approx_budget: ApproximationBudget = ApproximationBudget(),
     include_individual: bool = True,
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> FinetuneResult:
     """Run the full fine-tuning protocol for one model family.
 
@@ -133,7 +134,9 @@ def run_finetune_experiment(
         The replaceable operator inventory of that model (Table 4/5 rows).
     approximations:
         Optional pre-built ``(operator, method) -> pwl`` mapping; built with
-        ``approx_budget`` when omitted.
+        ``approx_budget`` through the sweep engine when omitted (``engine``
+        and ``workers`` are forwarded, so cells shared with Table 3 /
+        Fig. 2 / Fig. 3 come from the artifact cache).
     include_individual:
         When true, each operator is additionally replaced on its own (the
         "X only" rows); the "altogether" row is always produced.
@@ -197,7 +200,9 @@ def run_finetune_experiment(
 
     # 3. pwl replacements.
     if approximations is None:
-        approximations = build_approximations(operators, methods, budget=approx_budget)
+        approximations = build_approximations(
+            operators, methods, budget=approx_budget, engine=engine, workers=workers
+        )
 
     replacements: List[Tuple[str, Sequence[str]]] = []
     if include_individual:

@@ -1,0 +1,231 @@
+"""Declarative experiment cells and the parallel sweep engine.
+
+The paper's evaluation is a grid of independent cells: every table and
+figure is assembled from ``(operator, method, num_entries, budget)``
+approximations, each of which owns an explicit seed.  This module turns a
+cell into a declarative :class:`ApproximationJob` with a canonical,
+content-addressed cache key, and executes batches of jobs through
+:class:`SweepEngine`:
+
+* duplicate jobs inside a batch are collapsed before any work happens;
+* previously built cells are answered from the two-tier
+  :class:`~repro.experiments.artifacts.ArtifactCache` (in-process dict plus
+  optional on-disk ``.npz`` store);
+* the remaining cells run either serially (``workers=0``, the debugging and
+  coverage path) or fanned out over a ``ProcessPoolExecutor``.
+
+Because each cell is seeded and side-effect free, the parallel and serial
+paths are bit-identical by construction — the tests assert it, the
+benchmarks gate on it.
+
+The process-wide :func:`default_engine` is what
+:func:`repro.experiments.methods.build_approximation` routes through, so any
+two experiment runners in one process (or two processes sharing a
+``REPRO_ARTIFACT_DIR``) never compute the same approximation twice.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.pwl import PiecewiseLinear
+from repro.experiments.artifacts import ArtifactCache, ArtifactStore
+from repro.experiments.methods import ApproximationBudget, compute_approximation
+
+# Bump when the artifact layout or the build semantics change incompatibly;
+# part of every cache key, so stale on-disk artifacts can never be returned.
+ARTIFACT_FORMAT_VERSION = 1
+
+# Environment knobs picked up by the process-wide default engine.
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+
+
+@dataclasses.dataclass(frozen=True)
+class ApproximationJob:
+    """One cell of the evaluation grid, ready to be keyed and executed."""
+
+    operator: str
+    method: str
+    num_entries: int = 8
+    budget: ApproximationBudget = ApproximationBudget()
+
+    @property
+    def key(self) -> str:
+        """Canonical content hash of the job (stable across processes).
+
+        The key covers every field that influences the built artifact —
+        including the full budget (seed and GA engine included) and the
+        artifact format version — serialised canonically (sorted keys, no
+        whitespace) and hashed with SHA-256.
+        """
+        payload = {
+            "format": ARTIFACT_FORMAT_VERSION,
+            "operator": self.operator,
+            "method": self.method,
+            "num_entries": self.num_entries,
+            "budget": dataclasses.asdict(self.budget),
+        }
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def build(self) -> PiecewiseLinear:
+        """Execute the cell directly (no cache involvement)."""
+        return compute_approximation(
+            self.operator, self.method, num_entries=self.num_entries, budget=self.budget
+        )
+
+
+def _execute_job(item: Tuple[str, ApproximationJob]) -> Tuple[str, PiecewiseLinear]:
+    """Worker entry point: build one keyed job (picklable, module level)."""
+    key, job = item
+    return key, job.build()
+
+
+@dataclasses.dataclass
+class SweepStats:
+    """Work accounting for one ``SweepEngine.run`` (or an engine lifetime).
+
+    ``requested`` counts jobs as submitted, ``deduped`` the duplicates
+    collapsed within the batch; ``memory_hits``/``disk_hits``/``builds``
+    partition the unique keys by how they were satisfied.
+    """
+
+    requested: int = 0
+    deduped: int = 0
+    memory_hits: int = 0
+    disk_hits: int = 0
+    builds: int = 0
+
+    @property
+    def cache_hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    def add(self, other: "SweepStats") -> None:
+        for field in dataclasses.fields(self):
+            setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+
+class SweepEngine:
+    """Deduplicating, cache-backed, optionally parallel executor for jobs.
+
+    Parameters
+    ----------
+    cache:
+        The two-tier artifact cache; a fresh memory-only cache by default.
+    workers:
+        Default process count for :meth:`run`.  ``0`` (or ``1``) executes
+        in-process — the serial path used for debugging and coverage; ``>=
+        2`` fans the missing cells over a ``ProcessPoolExecutor``.  Each
+        cell owns an explicit seed, so the two paths are bit-identical.
+    """
+
+    def __init__(self, cache: Optional[ArtifactCache] = None, workers: int = 0) -> None:
+        self.cache = cache if cache is not None else ArtifactCache()
+        self.workers = workers
+        self.stats = SweepStats()
+        self.last_run = SweepStats()
+
+    def run(
+        self,
+        jobs: Iterable[ApproximationJob],
+        workers: Optional[int] = None,
+    ) -> Dict[str, PiecewiseLinear]:
+        """Execute ``jobs`` and return ``{job.key: PiecewiseLinear}``.
+
+        Duplicate jobs are built once; cached cells are never rebuilt.  The
+        result covers every distinct key in ``jobs`` (duplicates collapse
+        onto the same entry).
+        """
+        workers = self.workers if workers is None else workers
+        run_stats = SweepStats()
+        memory_hits_before = self.cache.memory_hits
+        disk_hits_before = self.cache.disk_hits
+        results: Dict[str, PiecewiseLinear] = {}
+        missing: Dict[str, ApproximationJob] = {}
+        for job in jobs:
+            run_stats.requested += 1
+            key = job.key
+            if key in results or key in missing:
+                run_stats.deduped += 1
+                continue
+            hit = self.cache.load(key)
+            if hit is not None:
+                results[key] = hit
+            else:
+                missing[key] = job
+        # Memory/disk split of the hits comes from the cache's counters.
+        run_stats.memory_hits = self.cache.memory_hits - memory_hits_before
+        run_stats.disk_hits = self.cache.disk_hits - disk_hits_before
+
+        if missing:
+            run_stats.builds = len(missing)
+            if workers and workers > 1 and len(missing) > 1:
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    built = list(pool.map(_execute_job, missing.items()))
+            else:
+                built = [_execute_job(item) for item in missing.items()]
+            for key, pwl in built:
+                self.cache.put(key, pwl)
+                results[key] = pwl
+
+        self.last_run = run_stats
+        self.stats.add(run_stats)
+        return results
+
+    def build(self, job: ApproximationJob, workers: Optional[int] = None) -> PiecewiseLinear:
+        """Run a single job through the cache and return its artifact."""
+        return self.run([job], workers=workers)[job.key]
+
+
+_DEFAULT_ENGINE: Optional[SweepEngine] = None
+
+
+def default_engine() -> SweepEngine:
+    """The process-wide engine behind ``build_approximation``.
+
+    Created lazily; honours ``REPRO_ARTIFACT_DIR`` (attach an on-disk
+    artifact store at that directory) and ``REPRO_SWEEP_WORKERS`` (default
+    worker count) at creation time.
+    """
+    global _DEFAULT_ENGINE
+    if _DEFAULT_ENGINE is None:
+        directory = os.environ.get(ARTIFACT_DIR_ENV)
+        store = ArtifactStore(directory) if directory else None
+        raw_workers = os.environ.get(SWEEP_WORKERS_ENV, "0")
+        try:
+            workers = int(raw_workers.strip() or "0")
+        except ValueError:
+            raise ValueError(
+                "%s must be an integer worker count, got %r"
+                % (SWEEP_WORKERS_ENV, raw_workers)
+            ) from None
+        _DEFAULT_ENGINE = SweepEngine(cache=ArtifactCache(store=store), workers=workers)
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[SweepEngine]) -> None:
+    """Replace (or, with ``None``, reset) the process-wide default engine."""
+    global _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine
+
+
+def approximation_jobs(
+    operators: Iterable[str],
+    methods: Iterable[str],
+    num_entries: int = 8,
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> List[ApproximationJob]:
+    """The job list behind ``build_approximations`` (operator-major order)."""
+    operators, methods = tuple(operators), tuple(methods)
+    return [
+        ApproximationJob(operator=operator, method=method,
+                         num_entries=num_entries, budget=budget)
+        for operator in operators
+        for method in methods
+    ]

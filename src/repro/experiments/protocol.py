@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Sequence
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -13,9 +13,9 @@ from repro.quant.quantizer import QuantSpec
 from repro.scaling.multi_range import MultiRangePWL, default_multi_range
 
 # Operators whose input carries a quantization scaling factor S.
-SCALE_DEPENDENT_OPERATORS = ("gelu", "hswish", "exp")
+SCALE_DEPENDENT_OPERATORS: Tuple[str, ...] = ("gelu", "hswish", "exp")
 # Operators evaluated through multi-range input scaling (wide FXP inputs).
-WIDE_RANGE_OPERATORS = ("div", "rsqrt")
+WIDE_RANGE_OPERATORS: Tuple[str, ...] = ("div", "rsqrt")
 
 
 def scale_sweep_mse(
@@ -37,7 +37,7 @@ def scale_sweep_mse(
 def wide_range_mse(
     operator: str,
     pwl: PiecewiseLinear,
-    num_samples: int = None,
+    num_samples: Optional[int] = None,
     bits: int = 8,
 ) -> float:
     """MSE of a wide-range operator under multi-range input scaling.

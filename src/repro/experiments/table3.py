@@ -10,9 +10,10 @@ FXP precision before evaluation.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.experiments.methods import ApproximationBudget, METHODS, build_approximation
+from repro.experiments.jobs import ApproximationJob, SweepEngine, default_engine
+from repro.experiments.methods import ApproximationBudget, METHODS
 from repro.experiments.protocol import average_mse
 
 
@@ -33,21 +34,44 @@ class Table3Result:
         return min(self.methods, key=lambda m: self.mse[(m, num_entries, operator)])
 
 
+def table3_jobs(
+    operators: Sequence[str] = ("gelu", "hswish", "exp", "div", "rsqrt"),
+    methods: Sequence[str] = METHODS,
+    entries: Sequence[int] = (8, 16),
+    budget: ApproximationBudget = ApproximationBudget(),
+) -> Dict[Tuple[str, int, str], ApproximationJob]:
+    """Every cell of Table 3 as a job, keyed by (method, entries, operator)."""
+    return {
+        (method, num_entries, operator): ApproximationJob(
+            operator=operator, method=method, num_entries=num_entries, budget=budget
+        )
+        for method in methods
+        for num_entries in entries
+        for operator in operators
+    }
+
+
 def run_table3(
     operators: Sequence[str] = ("gelu", "hswish", "exp", "div", "rsqrt"),
     methods: Sequence[str] = METHODS,
     entries: Sequence[int] = (8, 16),
     budget: ApproximationBudget = ApproximationBudget(),
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> Table3Result:
-    """Reproduce Table 3."""
-    mse: Dict[Tuple[str, int, str], float] = {}
-    for method in methods:
-        for num_entries in entries:
-            for operator in operators:
-                pwl = build_approximation(
-                    operator, method, num_entries=num_entries, budget=budget
-                )
-                mse[(method, num_entries, operator)] = average_mse(operator, pwl)
+    """Reproduce Table 3.
+
+    All cells are enumerated up front and executed through the sweep
+    engine, so cells shared with other experiments (or a previous run) come
+    out of the artifact cache and the rest can run in parallel.
+    """
+    engine = engine if engine is not None else default_engine()
+    jobs = table3_jobs(operators, methods, entries, budget)
+    built = engine.run(jobs.values(), workers=workers)
+    mse: Dict[Tuple[str, int, str], float] = {
+        (method, num_entries, operator): average_mse(operator, built[job.key])
+        for (method, num_entries, operator), job in jobs.items()
+    }
     return Table3Result(
         operators=tuple(operators), methods=tuple(methods), entries=tuple(entries), mse=mse
     )

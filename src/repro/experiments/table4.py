@@ -21,6 +21,7 @@ from repro.experiments.finetune import (
     format_finetune_table,
     run_finetune_experiment,
 )
+from repro.experiments.jobs import SweepEngine
 from repro.experiments.methods import METHODS
 from repro.nn.models import MiniSegformer
 
@@ -33,6 +34,8 @@ def run_table4(
     budget: FinetuneBudget = FinetuneBudget(),
     approx_budget: ApproximationBudget = ApproximationBudget(),
     include_individual: bool = True,
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> FinetuneResult:
     """Reproduce Table 4 with the MiniSegformer substitute."""
     return run_finetune_experiment(
@@ -42,6 +45,8 @@ def run_table4(
         budget=budget,
         approx_budget=approx_budget,
         include_individual=include_individual,
+        engine=engine,
+        workers=workers,
     )
 
 

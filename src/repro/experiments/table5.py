@@ -10,7 +10,7 @@ segmentation dataset.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.finetune import (
     ApproximationBudget,
@@ -19,6 +19,7 @@ from repro.experiments.finetune import (
     format_finetune_table,
     run_finetune_experiment,
 )
+from repro.experiments.jobs import SweepEngine
 from repro.experiments.methods import METHODS
 from repro.nn.models import MiniEfficientViT
 
@@ -31,6 +32,8 @@ def run_table5(
     budget: FinetuneBudget = FinetuneBudget(),
     approx_budget: ApproximationBudget = ApproximationBudget(),
     include_individual: bool = True,
+    engine: Optional[SweepEngine] = None,
+    workers: Optional[int] = None,
 ) -> FinetuneResult:
     """Reproduce Table 5 with the MiniEfficientViT substitute."""
     return run_finetune_experiment(
@@ -40,6 +43,8 @@ def run_table5(
         budget=budget,
         approx_budget=approx_budget,
         include_individual=include_individual,
+        engine=engine,
+        workers=workers,
     )
 
 

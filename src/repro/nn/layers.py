@@ -8,7 +8,7 @@ embedding and upsampling layers convert between them.
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -142,10 +142,10 @@ class DepthwiseConv2d(Module):
         batch, height, width, channels = x.shape
         if channels != self.channels:
             raise ValueError("expected %d channels, got %d" % (self.channels, channels))
-        # Accumulate the nine tap contributions by shifting slices of x; each
-        # contribution is embedded back into a full-size canvas so "same"
-        # zero padding falls out naturally.
-        out: Optional[Tensor] = None
+        # Accumulate the nine tap contributions by shifting slices of x into
+        # a single shared canvas ("same" zero padding falls out naturally);
+        # one full-size allocation per forward instead of one per tap.
+        contributions = []
         for dy in (-1, 0, 1):
             for dx in (-1, 0, 1):
                 src_y = slice(max(0, -dy), height - max(0, dy))
@@ -153,32 +153,31 @@ class DepthwiseConv2d(Module):
                 dst_y = slice(max(0, dy), height - max(0, -dy))
                 dst_x = slice(max(0, dx), width - max(0, -dx))
                 tap = self.weight[dy + 1, dx + 1]
-                shifted = x[:, src_y, src_x, :] * tap
-                # Place the shifted contribution into a full-size canvas by
-                # padding with zeros via index-add on a zeros tensor is not
-                # graph-friendly here; instead pad using the fact that the
-                # destination slice has the same extent as the source slice.
-                canvas = _pad_to(shifted, (batch, height, width, channels), dst_y, dst_x)
-                out = canvas if out is None else out + canvas
+                contributions.append((x[:, src_y, src_x, :] * tap, dst_y, dst_x))
+        out = _scatter_sum(contributions, (batch, height, width, channels))
         return out + self.bias
 
 
-def _pad_to(x: Tensor, shape: Tuple[int, ...], y_slice: slice, x_slice: slice) -> Tensor:
-    """Embed ``x`` into a zero tensor of ``shape`` at the given spatial slices."""
-    target = np.zeros(shape)
+def _scatter_sum(
+    contributions: Sequence[Tuple[Tensor, slice, slice]], shape: Tuple[int, ...]
+) -> Tensor:
+    """Sum spatially shifted contributions into one zero canvas of ``shape``.
 
-    def forward_fn(data: np.ndarray) -> np.ndarray:
-        out = target.copy()
-        out[:, y_slice, x_slice, :] = data
-        return out
-
-    # Element-wise machinery cannot change shape, so build the op manually.
-    out_data = forward_fn(x.data)
+    Forward adds every contribution in place at its destination slices;
+    backward routes each contribution the gradient slice it landed on.
+    Shape-changing, so the op is built manually rather than through the
+    element-wise machinery.
+    """
+    out_data = np.zeros(shape)
+    for tensor, y_slice, x_slice in contributions:
+        out_data[:, y_slice, x_slice, :] += tensor.data
 
     def backward(grad: np.ndarray) -> None:
-        x._accumulate(grad[:, y_slice, x_slice, :])
+        for tensor, y_slice, x_slice in contributions:
+            tensor._accumulate(grad[:, y_slice, x_slice, :])
 
-    return x._make(out_data, (x,), backward)
+    parents = tuple(tensor for tensor, _, _ in contributions)
+    return parents[0]._make(out_data, parents, backward)
 
 
 class Upsample(Module):
@@ -193,13 +192,14 @@ class Upsample(Module):
     def forward(self, x: Tensor) -> Tensor:
         if self.factor == 1:
             return x
-        batch, height, width, channels = x.shape
+        _, height, width, _ = x.shape
         f = self.factor
         idx_y = np.repeat(np.arange(height), f)
         idx_x = np.repeat(np.arange(width), f)
-        out = x[:, idx_y, :, :]
-        out = out[:, :, idx_x, :]
-        return out
+        # Broadcast the row/column indices against each other so both axes
+        # replicate in a single fancy-index gather (one graph node instead
+        # of two chained full-size gathers).
+        return x[:, idx_y[:, None], idx_x[None, :], :]
 
 
 class Dropout(Module):

@@ -149,6 +149,44 @@ class TestLayers:
         with pytest.raises(ValueError):
             conv(Tensor(np.zeros((1, 4, 4, 5))))
 
+    def test_depthwise_conv_matches_direct_convolution(self):
+        """The single-canvas scatter-sum must equal a literal 3x3 dw conv."""
+        conv = DepthwiseConv2d(2, rng=np.random.default_rng(3))
+        x = np.random.default_rng(4).standard_normal((2, 5, 6, 2))
+        out = conv(Tensor(x)).data
+        padded = np.zeros((2, 7, 8, 2))
+        padded[:, 1:-1, 1:-1, :] = x
+        expected = np.zeros_like(out)
+        for ky in range(3):
+            for kx in range(3):
+                # Tap (dy+1, dx+1) shifts x *into* the destination, i.e.
+                # out[y, x] += w[dy+1, dx+1] * x[y-dy, x-dx]: a convolution,
+                # so the literal sliding-window form flips the kernel.
+                expected += padded[:, ky:ky + 5, kx:kx + 6, :] * conv.weight.data[2 - ky, 2 - kx]
+        expected += conv.bias.data
+        np.testing.assert_allclose(out, expected, atol=1e-12)
+
+    def test_depthwise_conv_grad_matches_numeric(self):
+        conv = DepthwiseConv2d(1, rng=np.random.default_rng(0))
+        x = np.random.default_rng(1).standard_normal((1, 4, 4, 1))
+
+        def loss_for(weight):
+            conv.weight.data = weight
+            return float((conv(Tensor(x)).data ** 2).sum())
+
+        base = conv.weight.data.copy()
+        out = conv(Tensor(x))
+        conv.zero_grad()
+        (out * out).sum().backward()
+        analytic = conv.weight.grad.copy()
+        eps = 1e-6
+        for ky, kx in ((0, 0), (1, 1), (2, 0)):
+            bumped = base.copy()
+            bumped[ky, kx, 0] += eps
+            numeric = (loss_for(bumped) - loss_for(base)) / eps
+            assert analytic[ky, kx, 0] == pytest.approx(numeric, rel=1e-4)
+        conv.weight.data = base
+
     def test_upsample_nearest(self):
         up = Upsample(2)
         x = np.arange(4).reshape(1, 2, 2, 1).astype(float)
@@ -156,6 +194,17 @@ class TestLayers:
         assert out.shape == (1, 4, 4, 1)
         assert out[0, 0, 0, 0] == out[0, 1, 1, 0] == 0.0
         assert out[0, 2, 2, 0] == 3.0
+
+    def test_upsample_matches_repeat_and_routes_grad(self):
+        """One combined gather == np.repeat along both spatial axes."""
+        x_data = np.random.default_rng(5).standard_normal((2, 3, 4, 2))
+        x = Tensor(x_data, requires_grad=True)
+        out = Upsample(3)(x)
+        expected = np.repeat(np.repeat(x_data, 3, axis=1), 3, axis=2)
+        np.testing.assert_array_equal(out.data, expected)
+        out.sum().backward()
+        # Every input element fans out to factor^2 outputs of weight one.
+        np.testing.assert_allclose(x.grad, np.full(x_data.shape, 9.0))
 
     def test_upsample_factor_one_is_identity(self):
         x = Tensor(np.random.default_rng(0).random((1, 3, 3, 2)))
