@@ -1,0 +1,140 @@
+"""Guard a fresh benchmark report against a recorded BENCH_*.json baseline.
+
+Used after refactors that touch the hot paths (e.g. the op-registry /
+backend-dispatch rework): rerun the benchmark, then assert
+
+1. **exact parity** of every deterministic outcome the report carries —
+   engine bit-identity flags, seeded GA work counters (`evaluations`,
+   `fitness_calls`, `cache_hits`), `best_fitness`, fine-tune `steps` and
+   `val_miou`.  These are timing-independent; any drift means the refactor
+   changed semantics, not just speed.
+2. **within-noise timing parity** — the fresh fast-path timings
+   (`dense_seconds` / `batch_seconds`) may not exceed the baseline by more
+   than ``--tolerance`` (default 1.5x, generous because the container is
+   shared).  Catches dispatch overhead regressions without flaking on
+   scheduler noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_ga_throughput.py --output /tmp/ga.json
+    python benchmarks/check_bench_parity.py \
+        --baseline BENCH_ga_throughput.json --fresh /tmp/ga.json
+
+Exits non-zero with a per-check report on any violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+# (section, key) pairs that must be exactly equal between baseline and
+# fresh report when present in both: seeded, timing-independent outcomes.
+EXACT_KEYS = (
+    ("search", "identical_results"),
+    ("search", "evaluations"),
+    ("search", "fitness_calls"),
+    ("search", "cache_hits"),
+    ("search", "best_fitness"),
+    ("operator", "identical_results"),
+    ("pwl_step", "identical_results"),
+    ("model_finetune", "identical_losses"),
+    ("model_finetune", "steps"),
+    ("model_finetune", "val_miou"),
+)
+
+# (section, key) fast-path timings gated by the noise tolerance.
+TIMING_KEYS = (
+    ("search", "batch_seconds"),
+    ("fitness", "batch_seconds"),
+    ("operator", "dense_seconds"),
+    ("pwl_step", "dense_seconds"),
+    ("model_finetune", "dense_seconds"),
+)
+
+
+def _lookup(report: dict, section: str, key: str):
+    value = report.get(section)
+    if not isinstance(value, dict):
+        return None
+    return value.get(key)
+
+
+def compare(baseline: dict, fresh: dict, tolerance: float):
+    """Yield (ok, message) for every applicable check.
+
+    A key present in exactly one of the two reports is itself a failure:
+    the reports' shapes diverged (renamed section, dropped metric), which
+    would otherwise let the guard pass vacuously.  Keys absent from both
+    are fine — EXACT_KEYS/TIMING_KEYS span every benchmark this guard
+    understands, and each report only carries its own sections.
+    """
+    for section, key in EXACT_KEYS:
+        base = _lookup(baseline, section, key)
+        new = _lookup(fresh, section, key)
+        if base is None and new is None:
+            continue
+        if base is None or new is None:
+            yield False, "%s.%s: present in only one report (baseline=%r fresh=%r)" % (
+                section, key, base, new
+            )
+            continue
+        ok = base == new
+        yield ok, "%s.%s: baseline=%r fresh=%r%s" % (
+            section, key, base, new, "" if ok else "  <-- DIVERGED"
+        )
+    for section, key in TIMING_KEYS:
+        base = _lookup(baseline, section, key)
+        new = _lookup(fresh, section, key)
+        if base is None and new is None:
+            continue
+        if base is None or new is None:
+            yield False, "%s.%s: present in only one report (baseline=%r fresh=%r)" % (
+                section, key, base, new
+            )
+            continue
+        ok = new <= base * tolerance
+        yield ok, "%s.%s: baseline=%.4fs fresh=%.4fs (x%.2f, limit x%.2f)%s" % (
+            section, key, base, new, new / base, tolerance,
+            "" if ok else "  <-- REGRESSED"
+        )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", type=Path, required=True)
+    parser.add_argument("--fresh", type=Path, required=True)
+    parser.add_argument(
+        "--tolerance", type=float, default=1.5,
+        help="max allowed fresh/baseline ratio on fast-path timings",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    if baseline.get("benchmark") != fresh.get("benchmark"):
+        print("FAIL: comparing different benchmarks: %r vs %r"
+              % (baseline.get("benchmark"), fresh.get("benchmark")))
+        return 1
+
+    failures = 0
+    executed = 0
+    for ok, message in compare(baseline, fresh, args.tolerance):
+        print(("ok   " if ok else "FAIL ") + message)
+        executed += 1
+        failures += 0 if ok else 1
+    if executed == 0:
+        # An unknown benchmark shape must not pass silently.
+        print("FAIL: no known parity keys found in %r — nothing was checked"
+              % baseline.get("benchmark"))
+        return 1
+    if failures:
+        print("%d of %d parity check(s) failed" % (failures, executed))
+        return 1
+    print("parity holds (%s, %d checks)" % (baseline.get("benchmark"), executed))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

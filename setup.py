@@ -1,4 +1,22 @@
-"""Setup shim so editable installs work in offline environments without wheel."""
-from setuptools import setup
+"""Packaging metadata for the GQA-LUT reproduction.
 
-setup()
+Explicit ``packages``/``package_dir`` so editable installs (``pip install
+-e .``) resolve ``repro`` from the ``src`` layout without relying on
+``PYTHONPATH=src``, including in offline environments without wheel.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="0.1.0",
+    description=(
+        "Reproduction of GQA-LUT: genetic quantization-aware LUT "
+        "approximation for non-linear operations in Transformers (DAC 2024)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+    extras_require={"test": ["pytest", "hypothesis"]},
+)

@@ -1,0 +1,200 @@
+"""Array-API dispatch layer: every kernel module computes through ``xp``.
+
+The reproduction's kernels — the autograd substrate (:mod:`repro.nn`), the
+pwl/LUT/genetic engines (:mod:`repro.core`), the quantization utilities
+(:mod:`repro.quant`) and the multi-range scaling (:mod:`repro.scaling`) —
+do not import :mod:`numpy` directly.  They import the module-level proxy
+:data:`xp` from here::
+
+    from repro.backend import xp as np
+
+``xp`` forwards every attribute access to the *active* backend's array
+module, so the entire kernel stack retargets at once when the backend is
+switched.  NumPy is the default (and the only required) backend; the
+contract below plus the conformance test in ``tests/test_backend.py`` make
+alternate array libraries (or instrumented wrappers) drop-in:
+
+* register one with :func:`register_backend`,
+* activate it globally with :func:`set_backend` or locally with the
+  :func:`use_backend` context manager.
+
+Backend contract
+----------------
+A backend is any module-like object providing the NumPy-compatible surface
+the kernels actually use.  :data:`REQUIRED_ATTRS` enumerates that surface
+explicitly (it is the checklist :func:`check_conformance` walks); semantics
+must match NumPy's for float64 arrays:
+
+* array construction / dtypes: ``asarray``, ``zeros``, ``ones``,
+  ``zeros_like``, ``ones_like``, ``arange``, ``linspace``, ``concatenate``,
+  ``stack``, ``float64``, ``intp``, ``ndarray``;
+* elementwise math: ``exp``, ``log``, ``log2``, ``sqrt``, ``tanh``,
+  ``abs``, ``sign``, ``round``, ``floor``, ``clip``, ``maximum``,
+  ``minimum``, ``where``, ``isnan``, ``isfinite``, ``isscalar``;
+* linear algebra / reductions: ``matmul`` (via ``@``), ``linalg.lstsq``,
+  ``sum``, ``mean``, ``prod``, ``argmin``, ``argsort``, ``sort``,
+  ``searchsorted``, ``broadcast_to``, ``expand_dims``, ``swapaxes``,
+  ``repeat``, ``unique``, ``nonzero``, ``outer``, ``cumsum``;
+* ufunc methods used by the gradient kernels: ``add.at`` (scatter-add)
+  and ``maximum.accumulate``;
+* random: ``random.default_rng`` returning a NumPy-``Generator``-compatible
+  object (``uniform``, ``integers``, ``random``, ``standard_normal``,
+  ``normal``, ``permutation``).
+
+Seeded bit-parity across backends is *not* part of the contract (each
+library owns its RNG streams); parity within one backend is.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import threading
+from typing import Any, Dict, Iterator, Tuple
+
+import numpy
+
+#: The module surface every backend must provide (dotted names allowed).
+#: This is the conformance checklist — extend it when a kernel starts using
+#: a new array-API function, so ``check_conformance`` keeps alternates honest.
+REQUIRED_ATTRS: Tuple[str, ...] = (
+    # construction & dtypes
+    "asarray", "zeros", "ones", "zeros_like", "ones_like", "full",
+    "arange", "linspace", "concatenate", "stack", "atleast_1d",
+    "float64", "intp", "ndarray",
+    # elementwise
+    "exp", "log", "log2", "sqrt", "tanh", "abs", "sign", "round", "floor",
+    "clip", "maximum", "minimum", "where", "isnan", "isfinite", "isscalar",
+    "isclose", "allclose", "array_equal",
+    # reductions / shaping / selection
+    "sum", "mean", "prod", "argmin", "argmax", "argsort", "sort",
+    "searchsorted", "broadcast_to", "expand_dims", "swapaxes", "repeat",
+    "unique", "nonzero", "outer", "cumsum", "interp", "tile",
+    # submodules / ufunc methods
+    "linalg.lstsq", "add.at", "maximum.accumulate", "random.default_rng",
+    # constants
+    "nan", "inf", "pi", "newaxis",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class ArrayBackend:
+    """A named array backend: a display name plus its array module."""
+
+    name: str
+    module: Any
+
+    def conformance_failures(self) -> Tuple[str, ...]:
+        """Dotted names from :data:`REQUIRED_ATTRS` this backend lacks."""
+        missing = []
+        for dotted in REQUIRED_ATTRS:
+            obj = self.module
+            try:
+                for part in dotted.split("."):
+                    obj = getattr(obj, part)
+            except AttributeError:
+                missing.append(dotted)
+        return tuple(missing)
+
+
+_REGISTRY: Dict[str, ArrayBackend] = {}
+_LOCK = threading.Lock()
+
+
+def register_backend(name: str, module: Any, strict: bool = True) -> ArrayBackend:
+    """Register an array module under ``name`` and return its descriptor.
+
+    With ``strict`` (the default) the module is checked against
+    :data:`REQUIRED_ATTRS` up front, so a non-conforming backend fails at
+    registration time instead of deep inside a kernel.
+    """
+    backend = ArrayBackend(name=name, module=module)
+    if strict:
+        missing = backend.conformance_failures()
+        if missing:
+            raise ValueError(
+                "backend %r does not satisfy the array contract; missing: %s"
+                % (name, ", ".join(missing))
+            )
+    with _LOCK:
+        _REGISTRY[name] = backend
+    return backend
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of every registered backend."""
+    return tuple(sorted(_REGISTRY))
+
+
+# NumPy is the default and only required backend.
+_NUMPY = register_backend("numpy", numpy)
+_ACTIVE: ArrayBackend = _NUMPY
+
+
+def get_backend() -> ArrayBackend:
+    """The currently active backend descriptor."""
+    return _ACTIVE
+
+
+def set_backend(name: str) -> ArrayBackend:
+    """Switch the process-wide active backend (must be registered)."""
+    global _ACTIVE
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            "unknown backend %r; registered: %s" % (name, ", ".join(available_backends()))
+        ) from None
+    _ACTIVE = backend
+    return backend
+
+
+@contextlib.contextmanager
+def use_backend(name: str) -> Iterator[ArrayBackend]:
+    """Context manager scoping :func:`set_backend` to a ``with`` block."""
+    previous = _ACTIVE.name
+    backend = set_backend(name)
+    try:
+        yield backend
+    finally:
+        set_backend(previous)
+
+
+def check_conformance(name: str) -> None:
+    """Raise ``ValueError`` if the named backend violates the contract."""
+    try:
+        backend = _REGISTRY[name]
+    except KeyError:
+        raise ValueError("unknown backend %r" % (name,)) from None
+    missing = backend.conformance_failures()
+    if missing:
+        raise ValueError(
+            "backend %r does not satisfy the array contract; missing: %s"
+            % (name, ", ".join(missing))
+        )
+
+
+class _ArrayModuleProxy:
+    """Module-like proxy forwarding attribute access to the active backend.
+
+    Kernels hold a reference to this single object (conventionally imported
+    ``as np``), so :func:`set_backend` / :func:`use_backend` retarget every
+    kernel at once without re-imports.  Attribute forwarding is one dict
+    lookup plus a ``getattr`` — negligible next to the array work behind it
+    (the throughput benchmarks gate this).
+    """
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(_ACTIVE.module, name)
+
+    def __dir__(self):  # pragma: no cover - introspection aid
+        return dir(_ACTIVE.module)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<array backend proxy -> %r>" % (_ACTIVE.name,)
+
+
+#: The proxy every kernel module imports (``from repro.backend import xp``).
+xp = _ArrayModuleProxy()

@@ -25,7 +25,8 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.lut import DenseLUT, QuantizedLUT, check_engine
+from repro.core.engine_config import resolve_pwl_engine
+from repro.core.lut import DenseLUT, QuantizedLUT
 from repro.core.pwl import PiecewiseLinear
 from repro.functions.nonlinear import NonLinearFunction
 from repro.quant.quantizer import QuantSpec
@@ -200,7 +201,7 @@ class NNLUT:
         scale: float,
         spec: QuantSpec = QuantSpec(bits=8, signed=True),
         frac_bits: int = 5,
-        engine: str = "dense",
+        engine: Optional[str] = None,
     ) -> Union[DenseLUT, QuantizedLUT]:
         """Deploy the trained network as a quantization-aware LUT unit.
 
@@ -208,10 +209,11 @@ class NNLUT:
         behind the Fig. 1b pipeline at the runtime power-of-two ``scale``.
         ``engine="dense"`` materialises the ``2^bits``-entry gather table,
         ``engine="legacy"`` returns the comparer-based :class:`QuantizedLUT`;
-        both are bit-identical over every input code.  Trains first if the
+        both are bit-identical over every input code, and ``None`` resolves
+        through :mod:`repro.core.engine_config`.  Trains first if the
         network has not been trained yet.
         """
-        check_engine(engine)
+        engine = resolve_pwl_engine(engine)
         if not self._trained:
             self.train()
         pwl = self.extract_fxp_pwl(frac_bits=frac_bits)

@@ -9,8 +9,12 @@ Public entry points:
 * :class:`repro.core.mutation.RoundingMutation` — Algorithm 2.
 * :class:`repro.core.search.GQALUT` — the high-level "search an operator"
   API combining all of the above with the Table 1 presets.
+* :mod:`repro.core.engine_config` — the unified engine-knob registry
+  (kwarg > context > env > default resolution for every engine switch).
 """
 
+from repro.core import engine_config
+from repro.core.engine_config import EngineConfig
 from repro.core.pwl import (
     PiecewiseLinear,
     PiecewiseLinearBatch,
@@ -45,6 +49,8 @@ from repro.core.evaluation import (
 )
 
 __all__ = [
+    "engine_config",
+    "EngineConfig",
     "PiecewiseLinear",
     "PiecewiseLinearBatch",
     "fit_pwl",

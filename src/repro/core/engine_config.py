@@ -1,0 +1,180 @@
+"""One registry for every engine knob, with layered resolution.
+
+Three engine families grew over the previous PRs, each with its own switch
+threaded by hand through constructors and budget dataclasses:
+
+* the genetic search scoring path (``"batch"`` | ``"legacy"``),
+* the pwl operator inference engine (``"dense"`` | ``"legacy"``),
+* the experiment sweep's worker count and on-disk artifact directory.
+
+This module collapses them into a single :class:`EngineConfig` resolved per
+knob with the precedence **kwarg > context > env > default**:
+
+1. an explicit keyword argument at a call site always wins,
+2. otherwise the innermost :func:`use` context-manager override applies,
+3. otherwise the environment (``REPRO_GA_ENGINE``, ``REPRO_PWL_ENGINE``,
+   ``REPRO_SWEEP_WORKERS``, ``REPRO_ARTIFACT_DIR``),
+4. otherwise the defaults (``batch`` / ``dense`` / ``0`` / no store).
+
+Consumers (:class:`~repro.core.genetic.GeneticSearch`,
+:class:`~repro.nn.approx.PWLActivation` and friends,
+:meth:`~repro.baselines.nn_lut.NNLUT.deploy`,
+:class:`~repro.experiments.jobs.SweepEngine`) accept ``engine=None`` /
+``workers=None`` and call the ``resolve_*`` helpers here, so experiment
+code selects engines once::
+
+    from repro.core import engine_config
+
+    with engine_config.use(ga_engine="legacy", pwl_engine="legacy"):
+        run_table3(...)          # every nested search + pwl module follows
+
+Seeded results are bit-identical across every engine choice (the PR 1/2
+contracts), so the resolution layer can never change numbers — only speed.
+
+The override stack is process-local (a ``ProcessPoolExecutor`` worker sees
+the environment and defaults, not the parent's ``use`` block) and not
+thread-safe; scope ``use`` blocks to one thread.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import os
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+# Canonical engine inventories.  ``repro.core.genetic`` and
+# ``repro.core.lut`` alias these, so the validators can never drift.
+GA_ENGINES: Tuple[str, ...] = ("batch", "legacy")
+PWL_ENGINES: Tuple[str, ...] = ("dense", "legacy")
+
+# Environment knobs (the env layer of the resolution order).
+GA_ENGINE_ENV = "REPRO_GA_ENGINE"
+PWL_ENGINE_ENV = "REPRO_PWL_ENGINE"
+SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineConfig:
+    """A fully resolved snapshot of every engine knob."""
+
+    ga_engine: str = "batch"
+    pwl_engine: str = "dense"
+    sweep_workers: int = 0
+    artifact_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        check_ga_engine(self.ga_engine)
+        check_pwl_engine(self.pwl_engine)
+        if self.sweep_workers < 0:
+            raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
+
+
+def check_ga_engine(engine: str) -> str:
+    """Validate a genetic-search scoring engine name."""
+    if engine not in GA_ENGINES:
+        raise ValueError(
+            "unknown engine %r (expected one of %s)" % (engine, GA_ENGINES)
+        )
+    return engine
+
+
+def check_pwl_engine(engine: str) -> str:
+    """Validate a pwl operator inference engine name."""
+    if engine not in PWL_ENGINES:
+        raise ValueError(
+            "unknown engine %r; expected one of %s" % (engine, PWL_ENGINES)
+        )
+    return engine
+
+
+_FIELDS = tuple(field.name for field in dataclasses.fields(EngineConfig))
+_OVERRIDES: List[Dict[str, Any]] = []
+
+
+def _env_layer() -> Dict[str, Any]:
+    """Knobs picked up from the environment (resolution layer 3)."""
+    layer: Dict[str, Any] = {}
+    ga = os.environ.get(GA_ENGINE_ENV)
+    if ga:
+        layer["ga_engine"] = ga
+    pwl = os.environ.get(PWL_ENGINE_ENV)
+    if pwl:
+        layer["pwl_engine"] = pwl
+    raw_workers = os.environ.get(SWEEP_WORKERS_ENV)
+    if raw_workers is not None:
+        try:
+            layer["sweep_workers"] = int(raw_workers.strip() or "0")
+        except ValueError:
+            raise ValueError(
+                "%s must be an integer worker count, got %r"
+                % (SWEEP_WORKERS_ENV, raw_workers)
+            ) from None
+    directory = os.environ.get(ARTIFACT_DIR_ENV)
+    if directory:
+        layer["artifact_dir"] = directory
+    return layer
+
+
+def current() -> EngineConfig:
+    """The active configuration: defaults, then env, then ``use`` overrides."""
+    values: Dict[str, Any] = _env_layer()
+    for layer in _OVERRIDES:
+        values.update(layer)
+    return EngineConfig(**values)
+
+
+@contextlib.contextmanager
+def use(**overrides: Any) -> Iterator[EngineConfig]:
+    """Scope engine-knob overrides to a ``with`` block (innermost wins).
+
+    Accepts any :class:`EngineConfig` field::
+
+        with engine_config.use(pwl_engine="legacy", sweep_workers=4):
+            ...
+
+    Values are validated on entry, so a typo fails at the ``with`` line.
+    """
+    unknown = set(overrides) - set(_FIELDS)
+    if unknown:
+        raise TypeError(
+            "unknown engine-config field(s) %s; expected %s"
+            % (sorted(unknown), list(_FIELDS))
+        )
+    layer = dict(overrides)
+    _OVERRIDES.append(layer)
+    try:
+        yield current()  # validates the merged configuration up front
+    finally:
+        _OVERRIDES.remove(layer)
+
+
+def resolve_ga_engine(override: Optional[str] = None) -> str:
+    """Genetic-search scoring engine: kwarg > context > env > ``"batch"``."""
+    if override is not None:
+        return check_ga_engine(override)
+    return current().ga_engine
+
+
+def resolve_pwl_engine(override: Optional[str] = None) -> str:
+    """pwl inference engine: kwarg > context > env > ``"dense"``."""
+    if override is not None:
+        return check_pwl_engine(override)
+    return current().pwl_engine
+
+
+def resolve_sweep_workers(override: Optional[int] = None) -> int:
+    """Sweep process count: kwarg > context > env > ``0`` (serial)."""
+    if override is not None:
+        if override < 0:
+            raise ValueError("workers must be >= 0, got %r" % (override,))
+        return int(override)
+    return current().sweep_workers
+
+
+def resolve_artifact_dir(override: Optional[str] = None) -> Optional[str]:
+    """On-disk artifact store directory: kwarg > context > env > none."""
+    if override is not None:
+        return override
+    return current().artifact_dir

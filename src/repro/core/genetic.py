@@ -37,12 +37,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, List, Optional, Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
+from repro.core.engine_config import GA_ENGINES as ENGINES
+from repro.core.engine_config import resolve_ga_engine
 from repro.core.fitness import FitnessFunction
 from repro.core.mutation import MutationFunction, NormalMutation
-
-ENGINES = ("batch", "legacy")
 
 # Upper bound on cached (breakpoints -> score) entries; oldest entries are
 # evicted first.  At the Table 1 budget a full run touches well under 2^15
@@ -128,6 +128,8 @@ class GeneticSearch:
         :meth:`FitnessFunction.batch_call` after de-duplicating rows and
         consulting a cross-generation score cache; ``"legacy"`` scores one
         individual at a time.  Seeded results are identical either way.
+        ``None`` (the default) resolves through
+        :mod:`repro.core.engine_config` (context > env > ``"batch"``).
     cache_size:
         Maximum number of cached (breakpoints -> score) entries for the
         batch engine; oldest entries are evicted first.
@@ -139,14 +141,13 @@ class GeneticSearch:
         search_range: Tuple[float, float],
         settings: GASettings = GASettings(),
         mutation: Optional[MutationFunction] = None,
-        engine: str = "batch",
+        engine: Optional[str] = None,
         cache_size: int = DEFAULT_CACHE_SIZE,
     ) -> None:
         lo, hi = search_range
         if not lo < hi:
             raise ValueError("invalid search range [%r, %r]" % (lo, hi))
-        if engine not in ENGINES:
-            raise ValueError("unknown engine %r (expected one of %s)" % (engine, ENGINES))
+        engine = resolve_ga_engine(engine)
         self.fitness = fitness
         self.search_range = (float(lo), float(hi))
         self.settings = settings

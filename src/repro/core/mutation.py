@@ -18,7 +18,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
 
 class MutationFunction:

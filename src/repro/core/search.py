@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.core.config import GA_DEFAULTS, OperatorSearchConfig, default_config
 from repro.core.evaluation import DEFAULT_SCALES, QuantizedPWLEvaluator
@@ -168,7 +168,7 @@ class GQALUT:
         population_size: Optional[int] = None,
         seed: Optional[int] = None,
         patience: Optional[int] = None,
-        engine: str = "batch",
+        engine: Optional[str] = None,
     ) -> SearchOutcome:
         """Run Algorithm 1 and return the searched approximation.
 
@@ -176,7 +176,8 @@ class GQALUT:
         values (500 / 50); smaller values are convenient for tests and quick
         experiments.  ``engine`` selects the population scoring path of
         :class:`GeneticSearch` (``"batch"`` or ``"legacy"``); seeded results
-        are identical for both.
+        are identical for both, and ``None`` defers to
+        :mod:`repro.core.engine_config`.
         """
         settings = self.config.ga_settings(
             num_entries=self.num_entries,

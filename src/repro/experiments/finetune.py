@@ -23,7 +23,6 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
-from repro.core.lut import check_engine
 from repro.core.pwl import PiecewiseLinear
 from repro.data.synthetic_segmentation import (
     SyntheticSegmentationConfig,
@@ -52,13 +51,6 @@ class FinetuneBudget:
     embed_dim: int = 32
     depth: int = 2
     seed: int = 0
-    # Operator inference engine for the pwl suites: "dense" gathers from
-    # precomputed all-codes tables, "legacy" re-runs the Fig. 1b pipeline
-    # per pass.  Seeded runs are bit-identical across engines.
-    engine: str = "dense"
-
-    def __post_init__(self) -> None:
-        check_engine(self.engine)
 
     @classmethod
     def quick(cls) -> "FinetuneBudget":
@@ -213,8 +205,10 @@ def run_finetune_experiment(
     for method in methods:
         per_method = {op: approximations[(op, method)] for op in operators}
         for name, replace in replacements:
-            suite = PWLSuite(approximations=per_method, replace=set(replace),
-                             engine=budget.engine)
+            # The operator inference engine ("dense" | "legacy") resolves
+            # through repro.core.engine_config; seeded runs are
+            # bit-identical across engines.
+            suite = PWLSuite(approximations=per_method, replace=set(replace))
             model = _build_model(model_cls, model_config, suite)
             miou = finetune(model)
             rows.append(

@@ -29,21 +29,25 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from repro.core import engine_config
 from repro.core.pwl import PiecewiseLinear
 from repro.experiments.artifacts import ArtifactCache, ArtifactStore
 from repro.experiments.methods import ApproximationBudget, compute_approximation
 
 # Bump when the artifact layout or the build semantics change incompatibly;
 # part of every cache key, so stale on-disk artifacts can never be returned.
-ARTIFACT_FORMAT_VERSION = 1
+# Version 2: the GA scoring engine left ApproximationBudget (it resolves
+# through repro.core.engine_config and never changes seeded results), so
+# budget payloads — and therefore keys — changed shape.
+ARTIFACT_FORMAT_VERSION = 2
 
-# Environment knobs picked up by the process-wide default engine.
-ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
-SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+# Environment knobs picked up by the process-wide default engine (owned by
+# the engine-config layer; re-exported here for backwards compatibility).
+ARTIFACT_DIR_ENV = engine_config.ARTIFACT_DIR_ENV
+SWEEP_WORKERS_ENV = engine_config.SWEEP_WORKERS_ENV
 
 
 @dataclasses.dataclass(frozen=True)
@@ -123,9 +127,13 @@ class SweepEngine:
         in-process — the serial path used for debugging and coverage; ``>=
         2`` fans the missing cells over a ``ProcessPoolExecutor``.  Each
         cell owns an explicit seed, so the two paths are bit-identical.
+        ``None`` re-resolves through :mod:`repro.core.engine_config`
+        (context > ``REPRO_SWEEP_WORKERS`` > ``0``) on every :meth:`run`.
     """
 
-    def __init__(self, cache: Optional[ArtifactCache] = None, workers: int = 0) -> None:
+    def __init__(
+        self, cache: Optional[ArtifactCache] = None, workers: Optional[int] = None
+    ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
         self.workers = workers
         self.stats = SweepStats()
@@ -142,7 +150,8 @@ class SweepEngine:
         result covers every distinct key in ``jobs`` (duplicates collapse
         onto the same entry).
         """
-        workers = self.workers if workers is None else workers
+        if workers is None:
+            workers = engine_config.resolve_sweep_workers(self.workers)
         run_stats = SweepStats()
         memory_hits_before = self.cache.memory_hits
         disk_hits_before = self.cache.disk_hits
@@ -184,35 +193,51 @@ class SweepEngine:
 
 
 _DEFAULT_ENGINE: Optional[SweepEngine] = None
+# The artifact directory the default engine was built against; when the
+# resolved configuration moves (a later ``engine_config.use(artifact_dir=...)``
+# block or env change), the default engine is rebuilt instead of silently
+# keeping the stale store.
+_DEFAULT_ENGINE_DIR: Optional[str] = None
+_DEFAULT_ENGINE_PINNED = False
 
 
 def default_engine() -> SweepEngine:
     """The process-wide engine behind ``build_approximation``.
 
-    Created lazily; honours ``REPRO_ARTIFACT_DIR`` (attach an on-disk
-    artifact store at that directory) and ``REPRO_SWEEP_WORKERS`` (default
-    worker count) at creation time.
+    Created lazily.  The artifact directory re-resolves through
+    :mod:`repro.core.engine_config` (context > ``REPRO_ARTIFACT_DIR`` >
+    none) on every call — if it changed since the engine was built, a new
+    engine (with a store at the new directory and a fresh in-process
+    cache) replaces the old one, so a ``use(artifact_dir=...)`` block is
+    honoured even after earlier builds.  The worker count is left
+    unresolved so every :meth:`SweepEngine.run` re-reads the active
+    configuration.  An engine installed via :func:`set_default_engine` is
+    pinned and never rebuilt.
     """
-    global _DEFAULT_ENGINE
-    if _DEFAULT_ENGINE is None:
-        directory = os.environ.get(ARTIFACT_DIR_ENV)
+    global _DEFAULT_ENGINE, _DEFAULT_ENGINE_DIR
+    directory = engine_config.resolve_artifact_dir()
+    stale = (
+        _DEFAULT_ENGINE is not None
+        and not _DEFAULT_ENGINE_PINNED
+        and directory != _DEFAULT_ENGINE_DIR
+    )
+    if _DEFAULT_ENGINE is None or stale:
         store = ArtifactStore(directory) if directory else None
-        raw_workers = os.environ.get(SWEEP_WORKERS_ENV, "0")
-        try:
-            workers = int(raw_workers.strip() or "0")
-        except ValueError:
-            raise ValueError(
-                "%s must be an integer worker count, got %r"
-                % (SWEEP_WORKERS_ENV, raw_workers)
-            ) from None
-        _DEFAULT_ENGINE = SweepEngine(cache=ArtifactCache(store=store), workers=workers)
+        _DEFAULT_ENGINE = SweepEngine(cache=ArtifactCache(store=store))
+        _DEFAULT_ENGINE_DIR = directory
     return _DEFAULT_ENGINE
 
 
 def set_default_engine(engine: Optional[SweepEngine]) -> None:
-    """Replace (or, with ``None``, reset) the process-wide default engine."""
-    global _DEFAULT_ENGINE
+    """Replace (or, with ``None``, reset) the process-wide default engine.
+
+    An explicitly installed engine is pinned: it is returned as-is by
+    :func:`default_engine` regardless of later artifact-dir changes.
+    """
+    global _DEFAULT_ENGINE, _DEFAULT_ENGINE_DIR, _DEFAULT_ENGINE_PINNED
     _DEFAULT_ENGINE = engine
+    _DEFAULT_ENGINE_DIR = None
+    _DEFAULT_ENGINE_PINNED = engine is not None
 
 
 def approximation_jobs(

@@ -49,9 +49,6 @@ class ApproximationBudget:
     nn_lut_samples: int = 20_000
     nn_lut_iterations: int = 1500
     seed: int = 0
-    # Population-scoring path of the genetic engine; "legacy" keeps the
-    # per-individual reference path (seeded results are identical).
-    engine: str = "batch"
 
     @classmethod
     def paper(cls) -> "ApproximationBudget":
@@ -94,11 +91,13 @@ def compute_approximation(
         searcher = GQALUT.for_operator(
             operator, num_entries=num_entries, use_rm=(method == "gqa-rm")
         )
+        # The population-scoring path ("batch" | "legacy") resolves through
+        # repro.core.engine_config; it never changes seeded results, so it
+        # is deliberately not part of the budget (or the artifact key).
         outcome = searcher.search(
             generations=budget.generations,
             population_size=budget.population_size,
             seed=budget.seed,
-            engine=budget.engine,
         )
         return outcome.pwl_fxp
     raise ValueError("unknown method %r; expected one of %s" % (method, METHODS))

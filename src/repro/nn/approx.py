@@ -21,9 +21,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Iterable, Optional, Set
 
-import numpy as np
+from repro.backend import xp as np
 
-from repro.core.lut import DenseLUT, QuantizedLUT, check_engine, dense_lut_for
+from repro.core.engine_config import resolve_pwl_engine
+from repro.core.lut import DenseLUT, QuantizedLUT, dense_lut_for
 from repro.core.pwl import PiecewiseLinear
 from repro.functions.nonlinear import NonLinearFunction
 from repro.functions.registry import get_function
@@ -82,14 +83,14 @@ class PWLActivation(Module):
         pwl: PiecewiseLinear,
         bits: int = 8,
         frac_bits: int = 5,
-        engine: str = "dense",
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__()
         self.name = name
         self.pwl = pwl
         self.bits = bits
         self.frac_bits = frac_bits
-        self.engine = check_engine(engine)
+        self.engine = resolve_pwl_engine(engine)
         self.quantizer = PowerOfTwoQuantizer(bits=bits, signed=True)
         self._spec = QuantSpec(bits=bits, signed=True)
         self._dense_table: Optional[DenseLUT] = None
@@ -153,11 +154,11 @@ class PWLWideRange(Module):
         pwl: PiecewiseLinear,
         scaling: Optional[MultiRangeScaling] = None,
         frac_bits: int = 5,
-        engine: str = "dense",
+        engine: Optional[str] = None,
     ) -> None:
         super().__init__()
         self.name = name
-        self.engine = check_engine(engine)
+        self.engine = resolve_pwl_engine(engine)
         self.scaling = scaling or default_multi_range(name)
         self.wrapped = MultiRangePWL(pwl=pwl, scaling=self.scaling, frac_bits=frac_bits)
 
@@ -289,7 +290,9 @@ class PWLSuite(OperatorSuite):
     engine:
         Operator inference engine: ``"dense"`` (precomputed gather tables,
         fused forward/backward) or ``"legacy"`` (per-pass Fig. 1b pipeline).
-        Seeded fine-tuning runs are bit-identical across engines.
+        Seeded fine-tuning runs are bit-identical across engines.  ``None``
+        (the default) resolves through :mod:`repro.core.engine_config`
+        (context > env > ``"dense"``) when the suite is constructed.
     """
 
     approximations: Dict[str, PiecewiseLinear]
@@ -297,10 +300,10 @@ class PWLSuite(OperatorSuite):
     bits: int = 8
     frac_bits: int = 5
     name: str = "pwl"
-    engine: str = "dense"
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
-        check_engine(self.engine)
+        self.engine = resolve_pwl_engine(self.engine)
 
     def _should_replace(self, op: str) -> bool:
         return op in self.replace and op in self.approximations

@@ -10,11 +10,11 @@ from __future__ import annotations
 import math
 from typing import Optional, Sequence, Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.nn import functional as F
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor
+from repro.nn.tensor import Tensor, apply_op
 
 
 def _kaiming_init(rng: np.random.Generator, fan_in: int, shape) -> np.ndarray:
@@ -165,19 +165,11 @@ def _scatter_sum(
 
     Forward adds every contribution in place at its destination slices;
     backward routes each contribution the gradient slice it landed on.
-    Shape-changing, so the op is built manually rather than through the
-    element-wise machinery.
+    Dispatches to the variadic ``scatter_sum`` registry op.
     """
-    out_data = np.zeros(shape)
-    for tensor, y_slice, x_slice in contributions:
-        out_data[:, y_slice, x_slice, :] += tensor.data
-
-    def backward(grad: np.ndarray) -> None:
-        for tensor, y_slice, x_slice in contributions:
-            tensor._accumulate(grad[:, y_slice, x_slice, :])
-
-    parents = tuple(tensor for tensor, _, _ in contributions)
-    return parents[0]._make(out_data, parents, backward)
+    tensors = tuple(tensor for tensor, _, _ in contributions)
+    slices = tuple((y_slice, x_slice) for _, y_slice, x_slice in contributions)
+    return apply_op("scatter_sum", *tensors, slices=slices, shape=shape)
 
 
 class Upsample(Module):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-import numpy as np
+from repro.backend import xp as np
 
 
 def confusion_matrix(

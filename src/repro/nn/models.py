@@ -24,7 +24,7 @@ from __future__ import annotations
 import dataclasses
 from typing import List, Optional
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.nn.approx import FloatSuite, OperatorSuite
 from repro.nn.attention import LinearAttention, MultiHeadSelfAttention

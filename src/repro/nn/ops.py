@@ -1,0 +1,396 @@
+"""First-class op/VJP registry for the autograd substrate.
+
+Every differentiable operation of :class:`repro.nn.tensor.Tensor` is a named
+:class:`Op`: a pure array-level ``forward`` paired with its vector-Jacobian
+products, registered in a process-wide table.  The design follows the
+classic VJP-table shape of the autograd lineage (``defvjp`` per argument
+number): gradients are *data*, not inline closures, so
+
+* new kernels plug in with one :func:`register_op` call,
+* the gradcheck harness (``tests/test_gradcheck.py``) can enumerate the
+  whole table and finite-difference every entry,
+* graph construction, ``no_grad`` short-circuiting and unbroadcast handling
+  live in exactly one place (``Tensor.apply_op`` / ``Tensor.backward``)
+  instead of being re-implemented per op.
+
+An op's ``forward(*arrays, **params)`` returns the output array, or an
+``(output, saved)`` pair when the backward pass needs intermediates beyond
+the inputs and the output (e.g. the fused table lookup stashes the selected
+slopes).  VJPs come in two flavours:
+
+* ``vjps`` — a tuple with one function per positional input,
+  ``vjp(grad, ans, saved, *arrays, **params) -> grad_for_that_input``;
+  only the entries whose inputs require grad are invoked.
+* ``vjp_all`` — for variadic ops (``concatenate``, ``scatter_sum``), one
+  function returning the full list of input gradients.
+
+VJP outputs may be broadcast-shaped; the caller sums them back to each
+input's shape (the single unbroadcast site).  This module is Tensor-free on
+purpose: ops are backend-level array kernels, usable and testable without
+the graph machinery on top.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+
+from repro.backend import xp as np
+
+Array = Any  # backend array type (numpy.ndarray under the default backend)
+
+
+@dataclasses.dataclass(frozen=True)
+class Op:
+    """A named (forward, vjp) pair in the registry.
+
+    Exactly one of ``vjps`` (per-input functions) and ``vjp_all`` (one
+    function for every input, for variadic ops) must be provided.
+    """
+
+    name: str
+    forward: Callable[..., Any]
+    vjps: Optional[Tuple[Callable[..., Array], ...]] = None
+    vjp_all: Optional[Callable[..., Sequence[Array]]] = None
+
+    def __post_init__(self) -> None:
+        if (self.vjps is None) == (self.vjp_all is None):
+            raise ValueError(
+                "op %r must define exactly one of vjps / vjp_all" % (self.name,)
+            )
+
+
+_REGISTRY: Dict[str, Op] = {}
+
+
+def register_op(
+    name: str,
+    forward: Callable[..., Any],
+    vjps: Optional[Sequence[Callable[..., Array]]] = None,
+    vjp_all: Optional[Callable[..., Sequence[Array]]] = None,
+) -> Op:
+    """Register a named op; re-registering an existing name is an error."""
+    if name in _REGISTRY:
+        raise ValueError("op %r is already registered" % (name,))
+    op = Op(
+        name=name,
+        forward=forward,
+        vjps=tuple(vjps) if vjps is not None else None,
+        vjp_all=vjp_all,
+    )
+    _REGISTRY[name] = op
+    return op
+
+
+def get_op(name: str) -> Op:
+    """Look up a registered op by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            "unknown op %r; registered: %s" % (name, ", ".join(registered_ops()))
+        ) from None
+
+
+def registered_ops() -> Tuple[str, ...]:
+    """Names of every registered op (sorted)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def run_forward(op: Op, *arrays: Array, **params: Any) -> Tuple[Array, Any]:
+    """Execute an op's forward, normalising to ``(output, saved)``."""
+    result = op.forward(*arrays, **params)
+    if type(result) is tuple:
+        out, saved = result
+    else:
+        out, saved = result, None
+    return out, saved
+
+
+def input_grads(
+    op: Op,
+    grad: Array,
+    ans: Array,
+    saved: Any,
+    arrays: Sequence[Array],
+    params: Dict[str, Any],
+    needed: Sequence[bool],
+) -> Sequence[Optional[Array]]:
+    """Gradients w.r.t. each input; ``None`` where ``needed`` is false.
+
+    For per-argnum ops only the needed VJPs run (a matmul whose weight side
+    is frozen never computes the activation-side product); variadic ops
+    compute the full list in one call.
+    """
+    if op.vjp_all is not None:
+        return op.vjp_all(grad, ans, saved, *arrays, **params)
+    if len(op.vjps) != len(arrays):
+        raise ValueError(
+            "op %r defines %d vjps but was applied to %d inputs"
+            % (op.name, len(op.vjps), len(arrays))
+        )
+    return [
+        op.vjps[i](grad, ans, saved, *arrays, **params) if needed[i] else None
+        for i in range(len(arrays))
+    ]
+
+
+# -- arithmetic -----------------------------------------------------------------
+
+
+register_op(
+    "add",
+    forward=lambda a, b: a + b,
+    vjps=(
+        lambda g, ans, s, a, b: g,
+        lambda g, ans, s, a, b: g,
+    ),
+)
+
+register_op(
+    "neg",
+    forward=lambda a: -a,
+    vjps=(lambda g, ans, s, a: -g,),
+)
+
+register_op(
+    "mul",
+    forward=lambda a, b: a * b,
+    vjps=(
+        lambda g, ans, s, a, b: g * b,
+        lambda g, ans, s, a, b: g * a,
+    ),
+)
+
+register_op(
+    "div",
+    forward=lambda a, b: a / b,
+    vjps=(
+        lambda g, ans, s, a, b: g / b,
+        lambda g, ans, s, a, b: -g * a / (b ** 2),
+    ),
+)
+
+
+def _pow_forward(a: Array, exponent: float) -> Array:
+    if not np.isscalar(exponent):
+        raise TypeError("only scalar exponents are supported")
+    return a ** exponent
+
+
+register_op(
+    "pow",
+    forward=_pow_forward,
+    vjps=(lambda g, ans, s, a, exponent: g * exponent * a ** (exponent - 1),),
+)
+
+register_op(
+    "matmul",
+    forward=lambda a, b: a @ b,
+    vjps=(
+        lambda g, ans, s, a, b: g @ np.swapaxes(b, -1, -2),
+        lambda g, ans, s, a, b: np.swapaxes(a, -1, -2) @ g,
+    ),
+)
+
+
+# -- shape manipulation ---------------------------------------------------------
+
+
+register_op(
+    "reshape",
+    forward=lambda a, shape: a.reshape(shape),
+    vjps=(lambda g, ans, s, a, shape: g.reshape(a.shape),),
+)
+
+register_op(
+    "transpose",
+    forward=lambda a, axes: a.transpose(axes),
+    vjps=(lambda g, ans, s, a, axes: g.transpose(np.argsort(axes)),),
+)
+
+
+def _getitem_vjp(g: Array, ans: Array, s: Any, a: Array, index: Any) -> Array:
+    full = np.zeros_like(a)
+    np.add.at(full, index, g)
+    return full
+
+
+register_op(
+    "getitem",
+    forward=lambda a, index: a[index],
+    vjps=(_getitem_vjp,),
+)
+
+
+def _concatenate_vjp_all(g, ans, s, *arrays, axis: int = 0):
+    grads = []
+    offset = 0
+    for arr in arrays:
+        size = arr.shape[axis]
+        index = [slice(None)] * g.ndim
+        index[axis] = slice(offset, offset + size)
+        grads.append(g[tuple(index)])
+        offset += size
+    return grads
+
+
+register_op(
+    "concatenate",
+    forward=lambda *arrays, axis=0: np.concatenate(arrays, axis=axis),
+    vjp_all=_concatenate_vjp_all,
+)
+
+
+def _scatter_sum_forward(*arrays, slices, shape):
+    out = np.zeros(shape)
+    for arr, (y_slice, x_slice) in zip(arrays, slices):
+        out[:, y_slice, x_slice, :] += arr
+    return out
+
+
+def _scatter_sum_vjp_all(g, ans, s, *arrays, slices, shape):
+    return [g[:, y_slice, x_slice, :] for (y_slice, x_slice) in slices]
+
+
+register_op(
+    "scatter_sum",
+    forward=_scatter_sum_forward,
+    vjp_all=_scatter_sum_vjp_all,
+)
+
+
+# -- reductions -----------------------------------------------------------------
+
+
+def _sum_vjp(g, ans, s, a, axis=None, keepdims=False):
+    g = np.asarray(g, dtype=np.float64)
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis=axis)
+    return np.broadcast_to(g, a.shape)
+
+
+register_op(
+    "sum",
+    forward=lambda a, axis=None, keepdims=False: a.sum(axis=axis, keepdims=keepdims),
+    vjps=(_sum_vjp,),
+)
+
+
+def _max_vjp(g, ans, s, a, axis=None, keepdims=False):
+    g = np.asarray(g, dtype=np.float64)
+    expanded = ans
+    if axis is not None and not keepdims:
+        g = np.expand_dims(g, axis=axis)
+        expanded = np.expand_dims(ans, axis=axis)
+    mask = (a == expanded).astype(np.float64)
+    # Split gradient between ties, matching torch's behaviour closely
+    # enough for training purposes.
+    denom = mask.sum(axis=axis, keepdims=True)
+    denom = np.where(denom == 0, 1.0, denom)
+    return mask * g / denom
+
+
+register_op(
+    "max",
+    forward=lambda a, axis=None, keepdims=False: a.max(axis=axis, keepdims=keepdims),
+    vjps=(_max_vjp,),
+)
+
+
+# -- element-wise functions -----------------------------------------------------
+
+
+register_op(
+    "exp",
+    forward=lambda a: np.exp(a),
+    vjps=(lambda g, ans, s, a: g * ans,),
+)
+
+register_op(
+    "log",
+    forward=lambda a: np.log(a),
+    vjps=(lambda g, ans, s, a: g / a,),
+)
+
+register_op(
+    "sqrt",
+    forward=lambda a: np.sqrt(a),
+    vjps=(lambda g, ans, s, a: g * 0.5 / np.maximum(ans, 1e-12),),
+)
+
+register_op(
+    "tanh",
+    forward=lambda a: np.tanh(a),
+    vjps=(lambda g, ans, s, a: g * (1.0 - ans ** 2),),
+)
+
+register_op(
+    "relu",
+    forward=lambda a: np.maximum(a, 0.0),
+    vjps=(lambda g, ans, s, a: g * (a > 0),),
+)
+
+register_op(
+    "abs",
+    forward=lambda a: np.abs(a),
+    vjps=(lambda g, ans, s, a: g * np.sign(a),),
+)
+
+register_op(
+    "clip",
+    forward=lambda a, lo, hi: np.clip(a, lo, hi),
+    vjps=(lambda g, ans, s, a, lo, hi: g * ((a >= lo) & (a <= hi)),),
+)
+
+# Straight-through estimators: the forward is a hard quantization step, the
+# VJP passes the incoming gradient through unchanged (LSQ / Eq. 2).
+register_op(
+    "clip_ste",
+    forward=lambda a, lo, hi: np.clip(a, lo, hi),
+    vjps=(lambda g, ans, s, a, lo, hi: g,),
+)
+
+register_op(
+    "round_ste",
+    forward=lambda a: np.round(a),
+    vjps=(lambda g, ans, s, a: g,),
+)
+
+
+# -- generic element-wise hooks (pwl table lookups) -----------------------------
+
+
+def _elementwise_forward(a, forward_fn, grad_fn):
+    out = np.asarray(forward_fn(a), dtype=np.float64)
+    if out.shape != a.shape:
+        raise ValueError("element-wise forward changed the shape")
+    return out
+
+
+register_op(
+    "elementwise",
+    forward=_elementwise_forward,
+    vjps=(
+        lambda g, ans, s, a, forward_fn, grad_fn: g
+        * np.asarray(grad_fn(a), dtype=np.float64),
+    ),
+)
+
+
+def _elementwise_fused_forward(a, fused_fn):
+    out, slope = fused_fn(a)
+    out = np.asarray(out, dtype=np.float64)
+    if out.shape != a.shape:
+        raise ValueError("element-wise forward changed the shape")
+    slope = np.asarray(slope, dtype=np.float64)
+    if slope.shape != a.shape:
+        raise ValueError("element-wise derivative changed the shape")
+    return out, slope
+
+
+register_op(
+    "elementwise_fused",
+    forward=_elementwise_fused_forward,
+    vjps=(lambda g, ans, slope, a, fused_fn: g * slope,),
+)

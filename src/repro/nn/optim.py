@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.nn.module import Parameter
 

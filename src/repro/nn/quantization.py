@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.nn import functional as F
 from repro.nn.layers import Linear

@@ -1,4 +1,4 @@
-"""A small reverse-mode automatic-differentiation engine over numpy arrays.
+"""A small reverse-mode automatic-differentiation engine over backend arrays.
 
 This is the substrate that replaces PyTorch for the paper's fine-tuning
 experiments: it provides a :class:`Tensor` with a dynamic computation graph,
@@ -9,14 +9,23 @@ straight-through-estimator (STE) primitives used by LSQ quantization.
 The design intentionally mirrors the familiar torch API surface
 (``tensor.backward()``, ``tensor.grad``, ``no_grad()``) so the model code in
 :mod:`repro.nn.layers` and :mod:`repro.nn.models` reads naturally.
+
+Gradient rules do not live here: every differentiable operation is a named
+``(forward, vjp)`` pair in the :mod:`repro.nn.ops` registry, and the Tensor
+methods are thin dispatches through :func:`apply_op` — the single place that
+owns graph construction and ``no_grad`` short-circuiting.  Broadcast
+gradients are summed back to each input's shape in one site inside
+:meth:`Tensor.backward`.  Arrays come from the active :mod:`repro.backend`
+(NumPy by default).
 """
 
 from __future__ import annotations
 
 import contextlib
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
+from repro.backend import xp as np
+from repro.nn import ops as _ops
 
 _GRAD_ENABLED = True
 
@@ -37,7 +46,7 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+def _unbroadcast(grad, shape: Tuple[int, ...]):
     """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
     if grad.shape == shape:
         return grad
@@ -51,10 +60,31 @@ def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
-class Tensor:
-    """A numpy-backed tensor participating in a dynamic autograd graph."""
+class _OpBackward:
+    """Recorded backward step: one registry op plus its forward context."""
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = ("op", "saved", "arrays", "params", "needed")
+
+    def __init__(self, op, saved, arrays, params, needed) -> None:
+        self.op = op
+        self.saved = saved
+        self.arrays = arrays
+        self.params = params
+        self.needed = needed
+
+    def __call__(self, grad, ans):
+        return _ops.input_grads(
+            self.op, grad, ans, self.saved, self.arrays, self.params, self.needed
+        )
+
+
+class Tensor:
+    """A backend-array tensor participating in a dynamic autograd graph."""
+
+    __slots__ = (
+        "data", "grad", "requires_grad", "_backward", "_parents", "name",
+        "__weakref__",
+    )
 
     def __init__(
         self,
@@ -64,9 +94,9 @@ class Tensor:
         name: Optional[str] = None,
     ) -> None:
         self.data = np.asarray(data, dtype=np.float64)
-        self.grad: Optional[np.ndarray] = None
+        self.grad = None
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._backward: Optional[_OpBackward] = None
         self._parents = _parents if self.requires_grad or _parents else ()
         self.name = name
 
@@ -84,7 +114,7 @@ class Tensor:
     def size(self) -> int:
         return self.data.size
 
-    def numpy(self) -> np.ndarray:
+    def numpy(self):
         """The underlying array (shared, not copied)."""
         return self.data
 
@@ -101,52 +131,19 @@ class Tensor:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return "Tensor(shape=%s, requires_grad=%s)" % (self.shape, self.requires_grad)
 
-    # -- graph construction helpers --------------------------------------------
-
     @staticmethod
     def _lift(value) -> "Tensor":
         return value if isinstance(value, Tensor) else Tensor(value)
 
-    def _make(
-        self,
-        data: np.ndarray,
-        parents: Sequence["Tensor"],
-        backward: Callable[[np.ndarray], None],
-    ) -> "Tensor":
-        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
-        out = Tensor(data, requires_grad=requires, _parents=tuple(parents) if requires else ())
-        if requires:
-            out._backward = backward
-        return out
-
-    def _accumulate(self, grad: np.ndarray) -> None:
-        if not self.requires_grad:
-            return
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
-        if self.grad is None:
-            self.grad = grad.copy()
-        else:
-            self.grad = self.grad + grad
-
-    # -- arithmetic -------------------------------------------------------------
+    # -- arithmetic (thin dispatches into the op registry) ---------------------
 
     def __add__(self, other) -> "Tensor":
-        other = self._lift(other)
-        out_data = self.data + other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad)
-            other._accumulate(grad)
-
-        return self._make(out_data, (self, other), backward)
+        return apply_op("add", self, other)
 
     __radd__ = __add__
 
     def __neg__(self) -> "Tensor":
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(-grad)
-
-        return self._make(-self.data, (self,), backward)
+        return apply_op("neg", self)
 
     def __sub__(self, other) -> "Tensor":
         return self + (-self._lift(other))
@@ -155,77 +152,35 @@ class Tensor:
         return self._lift(other) + (-self)
 
     def __mul__(self, other) -> "Tensor":
-        other = self._lift(other)
-        out_data = self.data * other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * other.data)
-            other._accumulate(grad * self.data)
-
-        return self._make(out_data, (self, other), backward)
+        return apply_op("mul", self, other)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = self._lift(other)
-        out_data = self.data / other.data
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / other.data)
-            other._accumulate(-grad * self.data / (other.data ** 2))
-
-        return self._make(out_data, (self, other), backward)
+        return apply_op("div", self, other)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return self._lift(other) / self
+        return apply_op("div", self._lift(other), self)
 
     def __pow__(self, exponent: float) -> "Tensor":
-        if not np.isscalar(exponent):
-            raise TypeError("only scalar exponents are supported")
-        out_data = self.data ** exponent
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * exponent * self.data ** (exponent - 1))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("pow", self, exponent=exponent)
 
     def __matmul__(self, other) -> "Tensor":
-        other = self._lift(other)
-        out_data = self.data @ other.data
+        return apply_op("matmul", self, other)
 
-        def backward(grad: np.ndarray) -> None:
-            if self.requires_grad:
-                self._accumulate(grad @ np.swapaxes(other.data, -1, -2))
-            if other.requires_grad:
-                other._accumulate(np.swapaxes(self.data, -1, -2) @ grad)
-
-        return self._make(out_data, (self, other), backward)
-
-    # -- shape manipulation -----------------------------------------------------
+    # -- shape manipulation ----------------------------------------------------
 
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        original = self.data.shape
-        out_data = self.data.reshape(shape)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.reshape(original))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("reshape", self, shape=shape)
 
     def transpose(self, *axes) -> "Tensor":
         if len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
         if not axes:
             axes = tuple(reversed(range(self.ndim)))
-        inverse = np.argsort(axes)
-        out_data = self.data.transpose(axes)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad.transpose(inverse))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("transpose", self, axes=axes)
 
     def swapaxes(self, a: int, b: int) -> "Tensor":
         axes = list(range(self.ndim))
@@ -233,27 +188,12 @@ class Tensor:
         return self.transpose(*axes)
 
     def __getitem__(self, index) -> "Tensor":
-        out_data = self.data[index]
+        return apply_op("getitem", self, index=index)
 
-        def backward(grad: np.ndarray) -> None:
-            full = np.zeros_like(self.data)
-            np.add.at(full, index, grad)
-            self._accumulate(full)
-
-        return self._make(out_data, (self,), backward)
-
-    # -- reductions ---------------------------------------------------------------
+    # -- reductions ------------------------------------------------------------
 
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.sum(axis=axis, keepdims=keepdims)
-
-        def backward(grad: np.ndarray) -> None:
-            g = np.asarray(grad, dtype=np.float64)
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-            self._accumulate(np.broadcast_to(g, self.data.shape))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("sum", self, axis=axis, keepdims=keepdims)
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -266,149 +206,75 @@ class Tensor:
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mean = self.mean(axis=axis, keepdims=True)
         centered = self - mean
-        out = (centered * centered).mean(axis=axis, keepdims=keepdims)
-        return out
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        out_data = self.data.max(axis=axis, keepdims=keepdims)
+        return apply_op("max", self, axis=axis, keepdims=keepdims)
 
-        def backward(grad: np.ndarray) -> None:
-            g = np.asarray(grad, dtype=np.float64)
-            expanded = out_data
-            if axis is not None and not keepdims:
-                g = np.expand_dims(g, axis=axis)
-                expanded = np.expand_dims(out_data, axis=axis)
-            mask = (self.data == expanded).astype(np.float64)
-            # Split gradient between ties, matching torch's behaviour closely
-            # enough for training purposes.
-            denom = mask.sum(axis=axis, keepdims=True)
-            denom = np.where(denom == 0, 1.0, denom)
-            self._accumulate(mask * g / denom)
-
-        return self._make(out_data, (self,), backward)
-
-    # -- element-wise functions ----------------------------------------------------
+    # -- element-wise functions ------------------------------------------------
 
     def exp(self) -> "Tensor":
-        out_data = np.exp(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * out_data)
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("exp", self)
 
     def log(self) -> "Tensor":
-        out_data = np.log(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad / self.data)
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("log", self)
 
     def sqrt(self) -> "Tensor":
-        out_data = np.sqrt(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("sqrt", self)
 
     def tanh(self) -> "Tensor":
-        out_data = np.tanh(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (1.0 - out_data ** 2))
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("tanh", self)
 
     def relu(self) -> "Tensor":
-        out_data = np.maximum(self.data, 0.0)
+        return apply_op("relu", self)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * (self.data > 0))
-
-        return self._make(out_data, (self,), backward)
+    def abs(self) -> "Tensor":
+        return apply_op("abs", self)
 
     def clip(self, lo: float, hi: float) -> "Tensor":
         """Clamp with zero gradient outside the interval."""
-        out_data = np.clip(self.data, lo, hi)
-
-        def backward(grad: np.ndarray) -> None:
-            inside = (self.data >= lo) & (self.data <= hi)
-            self._accumulate(grad * inside)
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("clip", self, lo=lo, hi=hi)
 
     def clip_ste(self, lo: float, hi: float) -> "Tensor":
         """Clamp whose gradient passes straight through (STE clip)."""
-        out_data = np.clip(self.data, lo, hi)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad)
-
-        return self._make(out_data, (self,), backward)
+        return apply_op("clip_ste", self, lo=lo, hi=hi)
 
     def round_ste(self) -> "Tensor":
         """Round to nearest with a straight-through gradient (Eq. 2 / LSQ)."""
-        out_data = np.round(self.data)
+        return apply_op("round_ste", self)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad)
-
-        return self._make(out_data, (self,), backward)
-
-    def abs(self) -> "Tensor":
-        out_data = np.abs(self.data)
-
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.sign(self.data))
-
-        return self._make(out_data, (self,), backward)
-
-    def apply_elementwise(
-        self, forward_fn: Callable[[np.ndarray], np.ndarray], grad_fn: Callable[[np.ndarray], np.ndarray]
-    ) -> "Tensor":
+    def apply_elementwise(self, forward_fn, grad_fn) -> "Tensor":
         """Generic element-wise op: ``y = forward_fn(x)``, ``dy/dx = grad_fn(x)``.
 
         Used by the pwl-replacement modules, whose forward is a table lookup
         and whose backward is the selected segment's slope.
         """
-        out_data = np.asarray(forward_fn(self.data), dtype=np.float64)
-        if out_data.shape != self.data.shape:
-            raise ValueError("element-wise forward changed the shape")
+        return apply_op("elementwise", self, forward_fn=forward_fn, grad_fn=grad_fn)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * np.asarray(grad_fn(self.data), dtype=np.float64))
-
-        return self._make(out_data, (self,), backward)
-
-    def apply_elementwise_fused(
-        self, fused_fn: Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]
-    ) -> "Tensor":
+    def apply_elementwise_fused(self, fused_fn) -> "Tensor":
         """Element-wise op producing output and derivative in a single pass.
 
         ``fused_fn(x)`` returns ``(y, dy/dx)`` together; the derivative is
         stashed for backward instead of being re-derived from the raw input.
         This is the dense-LUT fine-tuning path: one quantize feeds both the
-        output gather and the slope gather, and backward is a single multiply.
+        output gather and the slope gather, and backward is a single
+        multiply.
         """
-        out_data, slope = fused_fn(self.data)
-        out_data = np.asarray(out_data, dtype=np.float64)
-        if out_data.shape != self.data.shape:
-            raise ValueError("element-wise forward changed the shape")
-        slope = np.asarray(slope, dtype=np.float64)
-        if slope.shape != self.data.shape:
-            raise ValueError("element-wise derivative changed the shape")
+        return apply_op("elementwise_fused", self, fused_fn=fused_fn)
 
-        def backward(grad: np.ndarray) -> None:
-            self._accumulate(grad * slope)
+    # -- graph traversal -------------------------------------------------------
 
-        return self._make(out_data, (self,), backward)
+    def backward(self, grad=None, retain_graph: bool = False) -> None:
+        """Back-propagate from this tensor through the recorded graph.
 
-    # -- graph traversal ------------------------------------------------------------
-
-    def backward(self, grad: Optional[np.ndarray] = None) -> None:
-        """Back-propagate from this tensor through the recorded graph."""
+        Every visited tensor that requires grad accumulates its total
+        incoming gradient into ``.grad``; broadcast dimensions are summed
+        away here, the one unbroadcast site.  After the traversal the graph
+        edges (``_backward`` hooks, parent links and their saved arrays)
+        are released so long fine-tuning runs do not retain every
+        intermediate activation graph; pass ``retain_graph=True`` to keep
+        them (needed to call backward twice through a shared subgraph).
+        """
         if not self.requires_grad:
             raise RuntimeError("called backward() on a tensor that does not require grad")
         if grad is None:
@@ -430,30 +296,54 @@ class Tensor:
 
         build(self)
         grads = {id(self): grad}
-        self.grad = grad.copy() if self.grad is None else self.grad + grad
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
-            if node_grad is None or node._backward is None:
+            if node_grad is None:
                 continue
-            # The _backward closures accumulate into parents' .grad directly;
-            # collect what each parent received this step so propagation
-            # continues with the correct local contribution.
-            before = {id(p): None if p.grad is None else p.grad.copy() for p in node._parents}
-            node._backward(node_grad)
-            seen_parents = set()
-            for parent in node._parents:
-                if not parent.requires_grad or id(parent) in seen_parents:
-                    # A parent may appear twice (e.g. ``c * c``); its combined
-                    # contribution is already captured on the first visit.
+            if node.requires_grad:
+                node.grad = (
+                    node_grad.copy() if node.grad is None else node.grad + node_grad
+                )
+            if node._backward is None:
+                continue
+            parent_grads = node._backward(node_grad, node.data)
+            for parent, parent_grad in zip(node._parents, parent_grads):
+                if parent_grad is None or not parent.requires_grad:
                     continue
-                seen_parents.add(id(parent))
-                prev = before[id(parent)]
-                current = parent.grad
-                contribution = current if prev is None else current - prev
+                contribution = _unbroadcast(
+                    np.asarray(parent_grad, dtype=np.float64), parent.data.shape
+                )
                 if id(parent) in grads:
                     grads[id(parent)] = grads[id(parent)] + contribution
                 else:
                     grads[id(parent)] = contribution
+        if not retain_graph:
+            for node in topo:
+                if node._backward is not None:
+                    node._backward = None
+                    node._parents = ()
+
+
+def apply_op(name: str, *inputs, **params) -> Tensor:
+    """Apply a registered op to tensors, recording the graph edge.
+
+    This is the single entry point every Tensor operation routes through:
+    it lifts raw values to tensors, runs the op's forward on the underlying
+    arrays, and — when gradients are enabled and any input requires them —
+    attaches the op's VJPs for the backward pass.  Under ``no_grad`` (or
+    with detached inputs) the result carries no parents and no backward
+    hook, so intermediate graphs are never built.
+    """
+    op = _ops.get_op(name)
+    tensors = tuple(Tensor._lift(value) for value in inputs)
+    arrays = tuple(t.data for t in tensors)
+    out_data, saved = _ops.run_forward(op, *arrays, **params)
+    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
+    out = Tensor(out_data, requires_grad=requires, _parents=tensors if requires else ())
+    if requires:
+        needed = tuple(t.requires_grad for t in tensors)
+        out._backward = _OpBackward(op, saved, arrays, params, needed)
+    return out
 
 
 def tensor(data, requires_grad: bool = False) -> Tensor:
@@ -469,28 +359,11 @@ def ones(shape, requires_grad: bool = False) -> Tensor:
     return Tensor(np.ones(shape), requires_grad=requires_grad)
 
 
-def randn(shape, scale: float = 1.0, rng: Optional[np.random.Generator] = None,
-          requires_grad: bool = False) -> Tensor:
+def randn(shape, scale: float = 1.0, rng=None, requires_grad: bool = False) -> Tensor:
     generator = rng or np.random.default_rng()
     return Tensor(scale * generator.standard_normal(shape), requires_grad=requires_grad)
 
 
 def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient routing."""
-    tensors = [Tensor._lift(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-
-    def backward(grad: np.ndarray) -> None:
-        offset = 0
-        for t, size in zip(tensors, sizes):
-            index = [slice(None)] * grad.ndim
-            index[axis] = slice(offset, offset + size)
-            t._accumulate(grad[tuple(index)])
-            offset += size
-
-    requires = _GRAD_ENABLED and any(t.requires_grad for t in tensors)
-    out = Tensor(data, requires_grad=requires, _parents=tuple(tensors) if requires else ())
-    if requires:
-        out._backward = backward
-    return out
+    return apply_op("concatenate", *tensors, axis=axis)

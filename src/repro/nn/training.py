@@ -6,7 +6,7 @@ import dataclasses
 import time
 from typing import Dict, List, Optional, Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
 from repro.nn import functional as F
 from repro.nn.metrics import mean_iou, pixel_accuracy

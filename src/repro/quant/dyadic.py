@@ -12,7 +12,7 @@ from __future__ import annotations
 import dataclasses
 import math
 
-import numpy as np
+from repro.backend import xp as np
 
 
 @dataclasses.dataclass(frozen=True)

@@ -12,7 +12,7 @@ import dataclasses
 import math
 from typing import Tuple
 
-import numpy as np
+from repro.backend import xp as np
 
 
 def fxp_round(x, frac_bits: int) -> np.ndarray:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-import numpy as np
+from repro.backend import xp as np
 
 
 def _pair(a, b):

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import math
 
-import numpy as np
+from repro.backend import xp as np
 
 
 def power_of_two_exponent(scale: float) -> int:

@@ -1,0 +1,147 @@
+"""Resolution-order tests for the unified engine configuration.
+
+The contract: every engine knob resolves **kwarg > context > env >
+default**, the ``use`` context manager nests innermost-wins, and the
+consumers (GeneticSearch, the pwl modules, NNLUT.deploy, SweepEngine)
+actually route through it.
+"""
+
+import pytest
+
+from repro.core import engine_config
+from repro.core.engine_config import (
+    ARTIFACT_DIR_ENV,
+    GA_ENGINE_ENV,
+    PWL_ENGINE_ENV,
+    SWEEP_WORKERS_ENV,
+    EngineConfig,
+    current,
+    resolve_artifact_dir,
+    resolve_ga_engine,
+    resolve_pwl_engine,
+    resolve_sweep_workers,
+    use,
+)
+
+
+class TestDefaults:
+    def test_defaults(self):
+        config = current()
+        assert config.ga_engine == "batch"
+        assert config.pwl_engine == "dense"
+        assert config.sweep_workers == 0
+        assert config.artifact_dir is None
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            EngineConfig(ga_engine="turbo")
+        with pytest.raises(ValueError):
+            EngineConfig(pwl_engine="sparse")
+        with pytest.raises(ValueError):
+            EngineConfig(sweep_workers=-1)
+
+
+class TestResolutionOrder:
+    def test_kwarg_beats_context(self):
+        with use(ga_engine="legacy"):
+            assert resolve_ga_engine("batch") == "batch"
+            assert resolve_ga_engine() == "legacy"
+
+    def test_context_beats_env(self, monkeypatch):
+        monkeypatch.setenv(PWL_ENGINE_ENV, "legacy")
+        assert resolve_pwl_engine() == "legacy"
+        with use(pwl_engine="dense"):
+            assert resolve_pwl_engine() == "dense"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv(GA_ENGINE_ENV, "legacy")
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "3")
+        monkeypatch.setenv(ARTIFACT_DIR_ENV, "/tmp/artifacts-here")
+        config = current()
+        assert config.ga_engine == "legacy"
+        assert config.sweep_workers == 3
+        assert config.artifact_dir == "/tmp/artifacts-here"
+
+    def test_contexts_nest_innermost_wins(self):
+        with use(ga_engine="legacy", sweep_workers=2):
+            with use(ga_engine="batch"):
+                assert resolve_ga_engine() == "batch"
+                assert resolve_sweep_workers() == 2  # outer layer still applies
+            assert resolve_ga_engine() == "legacy"
+        assert resolve_ga_engine() == "batch"
+
+    def test_use_validates_on_entry(self):
+        with pytest.raises(ValueError):
+            with use(pwl_engine="turbo"):
+                pass  # pragma: no cover - never reached
+        # The broken layer must not leak into later resolutions.
+        assert resolve_pwl_engine() == "dense"
+
+    def test_use_rejects_unknown_fields(self):
+        with pytest.raises(TypeError, match="unknown engine-config field"):
+            with use(engine="dense"):
+                pass  # pragma: no cover - never reached
+
+    def test_bad_env_worker_count_raises(self, monkeypatch):
+        monkeypatch.setenv(SWEEP_WORKERS_ENV, "many")
+        with pytest.raises(ValueError, match="integer worker count"):
+            current()
+
+    def test_artifact_dir_kwarg_override(self):
+        assert resolve_artifact_dir("/tmp/override") == "/tmp/override"
+        with use(artifact_dir="/tmp/ctx"):
+            assert resolve_artifact_dir() == "/tmp/ctx"
+
+
+class TestConsumers:
+    def test_genetic_search_resolves_engine(self):
+        from repro.core.genetic import GeneticSearch
+        from repro.core.fitness import FitnessFunction
+
+        class _Width(FitnessFunction):
+            def __call__(self, breakpoints):
+                return float(breakpoints[-1] - breakpoints[0])
+
+        with use(ga_engine="legacy"):
+            assert GeneticSearch(_Width(), (-1.0, 1.0)).engine == "legacy"
+        assert GeneticSearch(_Width(), (-1.0, 1.0)).engine == "batch"
+        assert GeneticSearch(_Width(), (-1.0, 1.0), engine="legacy").engine == "legacy"
+        with pytest.raises(ValueError):
+            GeneticSearch(_Width(), (-1.0, 1.0), engine="turbo")
+
+    def test_pwl_modules_resolve_engine(self):
+        from repro.core.pwl import fit_pwl, uniform_breakpoints
+        from repro.functions.registry import get_function
+        from repro.nn.approx import PWLActivation, PWLWideRange
+
+        fn = get_function("gelu")
+        pwl = fit_pwl(fn.fn, uniform_breakpoints(*fn.search_range, 8),
+                      fn.search_range).to_fixed_point(5)
+        with use(pwl_engine="legacy"):
+            assert PWLActivation("gelu", pwl).engine == "legacy"
+            assert PWLWideRange("div", pwl).engine == "legacy"
+        assert PWLActivation("gelu", pwl).engine == "dense"
+        assert PWLActivation("gelu", pwl, engine="legacy").engine == "legacy"
+
+    def test_nnlut_deploy_resolves_engine(self):
+        from repro.baselines.nn_lut import NNLUT, NNLUTTrainingConfig
+        from repro.core.lut import DenseLUT, QuantizedLUT
+        from repro.functions.registry import get_function
+
+        nn = NNLUT(get_function("gelu"), num_entries=8,
+                   config=NNLUTTrainingConfig(num_samples=500, iterations=30, seed=0))
+        nn.train()
+        assert isinstance(nn.deploy(0.25), DenseLUT)
+        with use(pwl_engine="legacy"):
+            assert isinstance(nn.deploy(0.25), QuantizedLUT)
+        assert isinstance(nn.deploy(0.25, engine="legacy"), QuantizedLUT)
+
+    def test_sweep_engine_resolves_workers(self):
+        from repro.experiments.jobs import SweepEngine
+
+        engine = SweepEngine()
+        assert engine.workers is None  # re-resolved per run
+        with use(sweep_workers=2):
+            assert resolve_sweep_workers(engine.workers) == 2
+        assert resolve_sweep_workers(engine.workers) == 0
+        assert resolve_sweep_workers(4) == 4

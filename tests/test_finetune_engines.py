@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
+from repro.core import engine_config
 from repro.core.pwl import fit_pwl, uniform_breakpoints
 from repro.data.synthetic_segmentation import (
     SyntheticSegmentationConfig,
@@ -35,7 +36,7 @@ def _approximations(operators):
     return out
 
 
-def _finetune(model_cls, operators, engine, budget):
+def _finetune(model_cls, operators, engine, budget, via_config=False):
     dataset = SyntheticSegmentationDataset(
         SyntheticSegmentationConfig(
             image_size=budget.image_size,
@@ -52,11 +53,18 @@ def _finetune(model_cls, operators, engine, budget):
         depth=budget.depth,
         seed=budget.seed,
     )
-    suite = PWLSuite(
-        approximations=_approximations(operators),
-        replace=set(operators),
-        engine=engine,
-    )
+    if via_config:
+        with engine_config.use(pwl_engine=engine):
+            suite = PWLSuite(
+                approximations=_approximations(operators),
+                replace=set(operators),
+            )
+    else:
+        suite = PWLSuite(
+            approximations=_approximations(operators),
+            replace=set(operators),
+            engine=engine,
+        )
     model = model_cls(config, suite=suite)
     prepare_quantized_model(model)
     trainer = Trainer(
@@ -89,13 +97,21 @@ class TestSeededEngineParity:
         assert legacy.val_pixel_accuracy == dense.val_pixel_accuracy
         assert legacy.train_miou == dense.train_miou
 
-    def test_budget_carries_engine(self):
-        assert FinetuneBudget().engine == "dense"
-        assert FinetuneBudget(engine="legacy").engine == "legacy"
+    def test_config_resolved_engine_matches_explicit_kwarg(self):
+        """engine_config.use(pwl_engine=...) == passing engine= explicitly."""
+        budget = FinetuneBudget.quick()
+        for engine in ("legacy", "dense"):
+            explicit = _finetune(MiniEfficientViT, EFFICIENTVIT_OPS, engine, budget)
+            via_config = _finetune(MiniEfficientViT, EFFICIENTVIT_OPS, engine, budget,
+                                   via_config=True)
+            assert explicit.losses == via_config.losses
+            assert explicit.val_miou == via_config.val_miou
 
-    def test_budget_rejects_unknown_engine_up_front(self):
-        with pytest.raises(ValueError):
-            FinetuneBudget(engine="desne")
+    def test_suite_resolves_engine_from_config(self):
+        assert PWLSuite(approximations={}).engine == "dense"
+        with engine_config.use(pwl_engine="legacy"):
+            assert PWLSuite(approximations={}).engine == "legacy"
+        assert PWLSuite(approximations={}, engine="legacy").engine == "legacy"
 
     def test_suite_rejects_unknown_engine(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,292 @@
+"""Numerical gradcheck for every op in the VJP registry.
+
+For each registered op the harness compares the autograd gradient (the
+op's registered VJP, routed through ``apply_op`` and ``Tensor.backward``)
+against a central finite difference of the forward function, for every
+input, under a random cotangent.  Broadcasting cases are included for the
+binary arithmetic ops, and reduction ops are checked across axis /
+keepdims variants.
+
+Straight-through estimators (``round_ste``, ``clip_ste``) are a special
+case: their forward is a step function whose true derivative is zero
+almost everywhere, and their VJP is *defined* to be the derivative of a
+smooth surrogate (the identity).  Those cases finite-difference the
+surrogate instead — the check then pins that the registered VJP matches
+the surrogate's derivative, which is the STE contract.
+
+``test_every_registered_op_has_cases`` closes the loop: registering a new
+op without adding a gradcheck case fails the suite, so the registry can
+never silently grow unverified gradients.
+"""
+
+import dataclasses
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+import pytest
+
+from repro.nn import ops
+from repro.nn.tensor import Tensor, apply_op
+
+EPS = 1e-6
+ATOL = 1e-4
+
+
+@dataclasses.dataclass
+class Case:
+    """One gradcheck invocation of a registered op."""
+
+    label: str
+    inputs: Tuple[np.ndarray, ...]
+    params: Dict = dataclasses.field(default_factory=dict)
+    # Finite-difference target when the op's forward is non-differentiable
+    # (STE ops): an array-level function with the op forward's signature.
+    surrogate: Optional[Callable] = None
+    atol: float = ATOL
+
+
+def _rng(seed: int = 0) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def _away_from(values: np.ndarray, points, margin: float = 1e-3) -> np.ndarray:
+    """Nudge samples off non-differentiable points (kinks, boundaries)."""
+    out = values.copy()
+    for point in points:
+        near = np.abs(out - point) < margin
+        out[near] = point + margin * np.where(out[near] >= point, 2.0, -2.0)
+    return out
+
+
+def _positive(shape, seed=0, low=0.5) -> np.ndarray:
+    return np.abs(_rng(seed).standard_normal(shape)) + low
+
+
+def _normal(shape, seed=0) -> np.ndarray:
+    return _rng(seed).standard_normal(shape)
+
+
+def _smooth_table(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _smooth_table_slope(x: np.ndarray) -> np.ndarray:
+    return 1.0 - np.tanh(x) ** 2
+
+
+def _fused_table(x: np.ndarray):
+    return np.tanh(x), 1.0 - np.tanh(x) ** 2
+
+
+# Every registered op must appear here; see test_every_registered_op_has_cases.
+CASES: Dict[str, List[Case]] = {
+    "add": [
+        Case("same-shape", (_normal((3, 4)), _normal((3, 4), 1))),
+        Case("broadcast-bias", (_normal((3, 4)), _normal((4,), 2))),
+        Case("broadcast-keepdim", (_normal((2, 3, 4)), _normal((2, 1, 4), 3))),
+    ],
+    "neg": [Case("plain", (_normal((3, 4)),))],
+    "mul": [
+        Case("same-shape", (_normal((3, 4)), _normal((3, 4), 1))),
+        Case("broadcast-row", (_normal((3, 4)), _normal((1, 4), 2))),
+        Case("broadcast-scalar", (_normal((2, 3)), _normal((), 4))),
+    ],
+    "div": [
+        Case("same-shape", (_normal((3, 4)), _positive((3, 4), 1))),
+        Case("broadcast-denominator", (_normal((3, 4)), _positive((4,), 2))),
+    ],
+    "pow": [
+        Case("cube", (_normal((3, 4)),), {"exponent": 3.0}),
+        Case("fractional", (_positive((3, 4)),), {"exponent": 1.7}),
+        Case("inverse-sqrt", (_positive((5,)),), {"exponent": -0.5}),
+    ],
+    "matmul": [
+        Case("2d", (_normal((3, 4)), _normal((4, 2), 1))),
+        Case("batched", (_normal((2, 3, 4)), _normal((2, 4, 5), 1))),
+    ],
+    "reshape": [Case("flatten", (_normal((3, 4)),), {"shape": (2, 6)})],
+    "transpose": [
+        Case("2d", (_normal((3, 4)),), {"axes": (1, 0)}),
+        Case("3d-roll", (_normal((2, 3, 4)),), {"axes": (2, 0, 1)}),
+    ],
+    "getitem": [
+        Case("slice", (_normal((5, 3)),), {"index": (slice(1, 4),)}),
+        Case("fancy-repeated", (_normal((4, 3)),),
+             {"index": (np.array([0, 2, 2, 1]),)}),
+        Case("mixed", (_normal((4, 5)),),
+             {"index": (slice(None), np.array([1, 3]))}),
+    ],
+    "concatenate": [
+        Case("axis0", (_normal((2, 3)), _normal((4, 3), 1)), {"axis": 0}),
+        Case("axis1", (_normal((2, 3)), _normal((2, 1), 1), _normal((2, 2), 2)),
+             {"axis": 1}),
+    ],
+    "scatter_sum": [
+        Case(
+            "two-shifted-taps",
+            (_normal((2, 3, 3, 4)), _normal((2, 3, 3, 4), 1)),
+            {
+                "slices": ((slice(0, 3), slice(1, 4)), (slice(1, 4), slice(0, 3))),
+                "shape": (2, 4, 4, 4),
+            },
+        )
+    ],
+    "sum": [
+        Case("all", (_normal((3, 4)),)),
+        Case("axis", (_normal((3, 4)),), {"axis": 1}),
+        Case("axis-keepdims", (_normal((2, 3, 4)),), {"axis": 1, "keepdims": True}),
+    ],
+    "max": [
+        Case("all", (_normal((3, 4)),)),
+        Case("axis", (_normal((3, 4)),), {"axis": -1}),
+        Case("axis-keepdims", (_normal((2, 5)),), {"axis": 1, "keepdims": True}),
+    ],
+    "exp": [Case("plain", (_normal((3, 4)),))],
+    "log": [Case("positive", (_positive((3, 4)),))],
+    "sqrt": [Case("positive", (_positive((3, 4)),))],
+    "tanh": [Case("plain", (_normal((3, 4)),))],
+    "relu": [Case("off-kink", (_away_from(_normal((3, 4)), [0.0]),))],
+    "abs": [Case("off-kink", (_away_from(_normal((3, 4)), [0.0]),))],
+    "clip": [
+        Case(
+            "interval",
+            (_away_from(_normal((3, 4)), [-0.5, 0.5]),),
+            {"lo": -0.5, "hi": 0.5},
+        )
+    ],
+    "clip_ste": [
+        Case(
+            "straight-through",
+            (_normal((3, 4)),),
+            {"lo": -0.5, "hi": 0.5},
+            surrogate=lambda a, lo, hi: a,
+        )
+    ],
+    "round_ste": [
+        Case(
+            "straight-through",
+            (_normal((3, 4)),),
+            surrogate=lambda a: a,
+        )
+    ],
+    "elementwise": [
+        Case(
+            "tanh-table",
+            (_normal((3, 4)),),
+            {"forward_fn": _smooth_table, "grad_fn": _smooth_table_slope},
+        )
+    ],
+    "elementwise_fused": [
+        Case("tanh-table", (_normal((3, 4)),), {"fused_fn": _fused_table})
+    ],
+}
+
+
+def _forward_array(name: str, case: Case, arrays) -> np.ndarray:
+    """The finite-difference target: the surrogate, or the op forward."""
+    if case.surrogate is not None:
+        return np.asarray(case.surrogate(*arrays, **case.params), dtype=np.float64)
+    out, _ = ops.run_forward(ops.get_op(name), *arrays, **case.params)
+    return np.asarray(out, dtype=np.float64)
+
+
+def numerical_grads(name: str, case: Case, weight: np.ndarray):
+    """Central-difference gradient of ``sum(forward * weight)`` per input."""
+    grads = []
+    for position, base in enumerate(case.inputs):
+        grad = np.zeros_like(base, dtype=np.float64)
+        flat = grad.reshape(-1)
+        for i in range(base.size):
+            arrays = [a.copy() for a in case.inputs]
+            arrays[position].reshape(-1)[i] += EPS
+            plus = float(np.sum(_forward_array(name, case, arrays) * weight))
+            arrays[position].reshape(-1)[i] -= 2 * EPS
+            minus = float(np.sum(_forward_array(name, case, arrays) * weight))
+            flat[i] = (plus - minus) / (2 * EPS)
+        grads.append(grad)
+    return grads
+
+
+def autograd_grads(name: str, case: Case, weight: np.ndarray):
+    """Registered-VJP gradients through apply_op + backward, per input."""
+    tensors = [Tensor(a.copy(), requires_grad=True) for a in case.inputs]
+    out = apply_op(name, *tensors, **case.params)
+    out.backward(weight)
+    return [t.grad for t in tensors]
+
+
+ALL_CASES = [
+    pytest.param(name, case, id="%s-%s" % (name, case.label))
+    for name in sorted(CASES)
+    for case in CASES[name]
+]
+
+
+class TestRegistryGradcheck:
+    def test_every_registered_op_has_cases(self):
+        """Adding an op without a gradcheck case must fail the suite."""
+        assert set(CASES) == set(ops.registered_ops())
+        assert all(CASES[name] for name in CASES)
+
+    def test_binary_ops_include_broadcasting_cases(self):
+        for name in ("add", "mul", "div"):
+            shapes = {
+                tuple(arr.shape for arr in case.inputs) for case in CASES[name]
+            }
+            assert any(a != b for a, b in shapes), name
+
+    @pytest.mark.parametrize("name,case", ALL_CASES)
+    def test_vjp_matches_finite_difference(self, name, case):
+        out_shape = _forward_array(name, case, [a.copy() for a in case.inputs]).shape
+        weight = _rng(99).standard_normal(out_shape)
+        actual = autograd_grads(name, case, weight)
+        expected = numerical_grads(name, case, weight)
+        assert len(actual) == len(expected)
+        for position, (got, want) in enumerate(zip(actual, expected)):
+            assert got is not None, "input %d received no gradient" % position
+            assert got.shape == case.inputs[position].shape
+            np.testing.assert_allclose(
+                got, want, atol=case.atol,
+                err_msg="%s[%s] input %d" % (name, case.label, position),
+            )
+
+
+class TestCompositionGradcheck:
+    """Spot checks of composed ops (the old tensor-level FD tests' role)."""
+
+    @staticmethod
+    def _check(fn, data, atol=1e-4):
+        x = Tensor(data.copy(), requires_grad=True)
+        fn(x).backward()
+        grad = np.zeros_like(data)
+        flat = grad.reshape(-1)
+        for i in range(data.size):
+            arr = data.copy()
+            arr.reshape(-1)[i] += EPS
+            plus = float(fn(Tensor(arr)).data)
+            arr.reshape(-1)[i] -= 2 * EPS
+            minus = float(fn(Tensor(arr)).data)
+            flat[i] = (plus - minus) / (2 * EPS)
+        np.testing.assert_allclose(x.grad, grad, atol=atol)
+
+    def test_mean_and_var(self):
+        self._check(lambda t: t.mean(), _normal((3, 4)))
+        self._check(lambda t: t.mean(axis=1).sum(), _normal((3, 4), 1))
+        self._check(lambda t: t.var(axis=-1).sum(), _normal((3, 4), 2), atol=1e-3)
+
+    def test_softmax(self):
+        from repro.nn import functional as F
+
+        self._check(
+            lambda t: (F.softmax(t) * Tensor(np.arange(4.0))).sum(), _normal((3, 4))
+        )
+
+    def test_gelu_layer_norm_chain(self):
+        from repro.nn import functional as F
+
+        weight, bias = Tensor(np.ones(4)), Tensor(np.zeros(4))
+        self._check(
+            lambda t: F.layer_norm(F.gelu(t), weight, bias).sum(),
+            _normal((3, 4)),
+            atol=1e-3,
+        )

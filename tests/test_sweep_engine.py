@@ -13,6 +13,7 @@ import dataclasses
 import numpy as np
 import pytest
 
+from repro.core import engine_config
 from repro.experiments import (
     ApproximationBudget,
     ApproximationJob,
@@ -56,11 +57,22 @@ class TestJobKeys:
             ApproximationJob("gelu", "gqa-rm", 16, QUICK),
             ApproximationJob("gelu", "gqa-rm", 8, dataclasses.replace(QUICK, seed=1)),
             ApproximationJob("gelu", "gqa-rm", 8, dataclasses.replace(QUICK, generations=26)),
-            ApproximationJob("gelu", "gqa-rm", 8, dataclasses.replace(QUICK, engine="legacy")),
+            ApproximationJob("gelu", "gqa-rm", 8, dataclasses.replace(QUICK, nn_lut_samples=3001)),
         ],
     )
     def test_any_field_change_changes_key(self, other):
         assert ApproximationJob("gelu", "gqa-rm", 8, QUICK).key != other.key
+
+    def test_ga_engine_choice_does_not_change_key(self):
+        """batch/legacy scoring is bit-identical, so it must share artifacts.
+
+        The GA engine resolves through the central engine config and is
+        deliberately excluded from the content key: the same cell built
+        under either scoring path is the same artifact.
+        """
+        job = ApproximationJob("gelu", "gqa-rm", 8, QUICK)
+        with engine_config.use(ga_engine="legacy"):
+            assert ApproximationJob("gelu", "gqa-rm", 8, QUICK).key == job.key
 
 
 class TestEngineExecution:
@@ -151,6 +163,41 @@ class TestExperimentEquivalence:
         # re-pulls are all cache hits.
         assert engine.stats.builds == 3
         assert engine.stats.deduped + engine.stats.memory_hits >= 1
+
+
+class TestDefaultEngine:
+    """default_engine() honours the engine-config artifact directory."""
+
+    def setup_method(self):
+        from repro.experiments import set_default_engine
+
+        set_default_engine(None)
+
+    teardown_method = setup_method
+
+    def test_rebuilds_when_artifact_dir_changes(self, tmp_path):
+        from repro.experiments import default_engine
+
+        first = default_engine()
+        assert first.cache.store is None
+        assert default_engine() is first
+        # A later context override must not be silently ignored just
+        # because the engine was already created.
+        with engine_config.use(artifact_dir=str(tmp_path)):
+            scoped = default_engine()
+            assert scoped is not first
+            assert scoped.cache.store is not None
+            assert scoped.cache.store.directory == tmp_path
+            assert default_engine() is scoped
+        assert default_engine().cache.store is None
+
+    def test_explicitly_installed_engine_is_pinned(self, tmp_path):
+        from repro.experiments import default_engine, set_default_engine
+
+        engine = fresh_engine()
+        set_default_engine(engine)
+        with engine_config.use(artifact_dir=str(tmp_path)):
+            assert default_engine() is engine
 
 
 class TestArtifactStore:

@@ -1,4 +1,11 @@
-"""Tests for the numpy autograd engine, checked against numerical gradients."""
+"""Behavioural tests for the numpy autograd engine.
+
+Per-op gradient correctness lives in ``tests/test_gradcheck.py``, which
+finite-differences every op in the :mod:`repro.nn.ops` registry.  This file
+covers the engine's *semantics*: forward arithmetic, graph control
+(``no_grad`` / ``detach`` / graph release), gradient accumulation and the
+``repro.nn.functional`` compositions the models are built from.
+"""
 
 import numpy as np
 import pytest
@@ -6,39 +13,8 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.nn import functional as F
+from repro.nn import ops
 from repro.nn.tensor import Tensor, concatenate, no_grad, ones, randn, tensor, zeros
-
-
-def numerical_grad(fn, x: np.ndarray, eps: float = 1e-6) -> np.ndarray:
-    """Central-difference gradient of a scalar-valued fn wrt x."""
-    grad = np.zeros_like(x, dtype=np.float64)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        idx = it.multi_index
-        original = x[idx]
-        x[idx] = original + eps
-        plus = fn(x)
-        x[idx] = original - eps
-        minus = fn(x)
-        x[idx] = original
-        grad[idx] = (plus - minus) / (2 * eps)
-        it.iternext()
-    return grad
-
-
-def check_gradient(op, shape=(3, 4), seed=0, atol=1e-4):
-    """Compare autograd and numerical gradients for a tensor->scalar op."""
-    rng = np.random.default_rng(seed)
-    data = rng.standard_normal(shape)
-    t = Tensor(data.copy(), requires_grad=True)
-    out = op(t)
-    out.backward()
-
-    def scalar_fn(arr):
-        return float(op(Tensor(arr.copy())).data)
-
-    expected = numerical_grad(scalar_fn, data.copy())
-    np.testing.assert_allclose(t.grad, expected, atol=atol)
 
 
 class TestBasicOps:
@@ -56,16 +32,9 @@ class TestBasicOps:
         np.testing.assert_allclose((a / 2.0).data, [0.5, 1.0])
         np.testing.assert_allclose((1.0 / a).data, [1.0, 0.5])
 
-    def test_gradients_of_elementary_ops(self):
-        check_gradient(lambda t: (t * t).sum())
-        check_gradient(lambda t: (t + 2.0 * t).sum())
-        check_gradient(lambda t: (t / 3.0).sum())
-        check_gradient(lambda t: (t ** 3.0).mean())
-
-    def test_matmul_gradient(self):
-        rng = np.random.default_rng(0)
-        w = rng.standard_normal((4, 2))
-        check_gradient(lambda t: (t @ Tensor(w)).sum())
+    def test_pow_rejects_non_scalar_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor([1.0]) ** np.array([1.0, 2.0])
 
     def test_batched_matmul_forward(self):
         rng = np.random.default_rng(0)
@@ -88,16 +57,6 @@ class TestBasicOps:
         out.backward(np.array([1.0]))
         np.testing.assert_allclose(x.grad, [5.0])
 
-    def test_exp_log_sqrt_tanh_gradients(self):
-        check_gradient(lambda t: t.exp().sum())
-        check_gradient(lambda t: (t.abs() + 1.0).log().sum())
-        check_gradient(lambda t: (t.abs() + 0.5).sqrt().sum())
-        check_gradient(lambda t: t.tanh().sum())
-
-    def test_relu_and_clip_gradients(self):
-        check_gradient(lambda t: t.relu().sum())
-        check_gradient(lambda t: t.clip(-0.5, 0.5).sum(), seed=3)
-
     def test_clip_ste_passes_gradient(self):
         x = Tensor([10.0, -10.0], requires_grad=True)
         x.clip_ste(-1, 1).sum().backward()
@@ -111,18 +70,14 @@ class TestBasicOps:
 
 
 class TestShapeOps:
-    def test_reshape_roundtrip(self):
-        check_gradient(lambda t: t.reshape(2, 6).sum(), shape=(3, 4))
-
-    def test_transpose_gradient(self):
-        check_gradient(lambda t: (t.transpose(1, 0) * Tensor(np.ones((4, 3)))).sum())
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(12.0).reshape(3, 4), requires_grad=True)
+        (x.reshape(2, 6) * 2.0).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((3, 4), 2.0))
 
     def test_swapaxes(self):
         x = Tensor(np.arange(24).reshape(2, 3, 4))
         assert x.swapaxes(1, 2).shape == (2, 4, 3)
-
-    def test_getitem_gradient(self):
-        check_gradient(lambda t: t[1:3].sum(), shape=(5, 2))
 
     def test_concatenate_forward_and_grad(self):
         a = Tensor(np.ones((2, 2)), requires_grad=True)
@@ -139,18 +94,11 @@ class TestReductions:
         x = Tensor(np.ones((2, 3)))
         assert x.sum(axis=1, keepdims=True).shape == (2, 1)
 
-    def test_mean_gradient(self):
-        check_gradient(lambda t: t.mean())
-        check_gradient(lambda t: t.mean(axis=1).sum())
-
     def test_var_matches_numpy(self):
         rng = np.random.default_rng(0)
         data = rng.standard_normal((4, 6))
         out = Tensor(data).var(axis=-1)
         np.testing.assert_allclose(out.data, data.var(axis=-1), atol=1e-12)
-
-    def test_var_gradient(self):
-        check_gradient(lambda t: t.var(axis=-1).sum(), atol=1e-3)
 
     def test_max_gradient_flows_to_argmax(self):
         x = Tensor([[1.0, 5.0, 2.0]], requires_grad=True)
@@ -164,9 +112,6 @@ class TestFunctional:
         x = Tensor(rng.standard_normal((5, 7)))
         probs = F.softmax(x)
         np.testing.assert_allclose(probs.data.sum(axis=-1), 1.0, atol=1e-12)
-
-    def test_softmax_gradient(self):
-        check_gradient(lambda t: (F.softmax(t) * Tensor(np.arange(4.0))).sum(), atol=1e-4)
 
     def test_gelu_close_to_exact(self):
         from repro.functions.nonlinear import gelu as exact_gelu
@@ -255,6 +200,12 @@ class TestGraphControl:
         assert randn((3, 3), rng=np.random.default_rng(0)).shape == (3, 3)
         assert tensor([1, 2]).shape == (2,)
 
+    def test_unknown_op_rejected(self):
+        from repro.nn.tensor import apply_op
+
+        with pytest.raises(KeyError, match="unknown op"):
+            apply_op("turbo_matmul", Tensor([1.0]))
+
     @given(st.integers(2, 6), st.integers(2, 6))
     @settings(max_examples=20, deadline=None)
     def test_linear_chain_gradient_matches_analytic(self, n, m):
@@ -264,3 +215,53 @@ class TestGraphControl:
         out = (x @ Tensor(w)).sum()
         out.backward()
         np.testing.assert_allclose(x.grad, np.tile(w.sum(axis=1), (4, 1)), atol=1e-9)
+
+
+class TestGraphRelease:
+    """backward() drops graph references so intermediates can be freed."""
+
+    def test_backward_releases_graph_edges(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        mid = (x * 2.0).exp()
+        out = mid.sum()
+        out.backward()
+        assert out._backward is None and out._parents == ()
+        assert mid._backward is None and mid._parents == ()
+
+    def test_retain_graph_keeps_edges_and_allows_second_pass(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = (x * 3.0).sum()
+        out.backward(retain_graph=True)
+        assert out._backward is not None and out._parents != ()
+        out.backward()  # second pass accumulates into .grad
+        np.testing.assert_allclose(x.grad, np.full(3, 6.0))
+
+    def test_released_graph_does_not_propagate_again(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        out = (x * 3.0).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 3.0))
+        # The default release cut the edges: a second backward from the
+        # same root only touches the root itself.
+        out.backward()
+        np.testing.assert_allclose(x.grad, np.full(3, 3.0))
+
+    def test_intermediates_are_collectable_after_backward(self):
+        import gc
+        import weakref
+
+        x = Tensor(np.ones(8), requires_grad=True)
+        mid = (x * 2.0).tanh()
+        ref = weakref.ref(mid)
+        out = mid.sum()
+        out.backward()
+        del mid
+        gc.collect()
+        # `out` is still alive, but the released parent links no longer
+        # pin the intermediate (pre-refactor this reference kept it alive).
+        assert ref() is None
+
+    def test_registry_is_the_only_gradient_source(self):
+        # Every Tensor operation dispatches through the registry: the ops
+        # module exposes the full table, and it is non-trivially populated.
+        assert len(ops.registered_ops()) >= 20
