@@ -42,6 +42,15 @@ EXACT_KEYS = (
     ("model_finetune", "identical_losses"),
     ("model_finetune", "steps"),
     ("model_finetune", "val_miou"),
+    # Compiled-inference benchmark: the 4-way eager/compiled x dense/legacy
+    # parity flags, the seeded prediction checksums (drift between the
+    # traced executor and the eager forward changes the hash even when the
+    # in-run flags pass vacuously), and the serving response parity.
+    ("segformer_predict", "identical_results"),
+    ("segformer_predict", "predictions_sha256"),
+    ("efficientvit_predict", "identical_results"),
+    ("efficientvit_predict", "predictions_sha256"),
+    ("serving", "identical_results"),
 )
 
 # (section, key) fast-path timings gated by the noise tolerance.
@@ -51,6 +60,8 @@ TIMING_KEYS = (
     ("operator", "dense_seconds"),
     ("pwl_step", "dense_seconds"),
     ("model_finetune", "dense_seconds"),
+    ("segformer_predict", "compiled_seconds"),
+    ("efficientvit_predict", "compiled_seconds"),
 )
 
 

@@ -10,7 +10,9 @@ This is the 60-second tour of the library:
 4. sweep the scaling factors of Fig. 2(a)/Fig. 3 to see the
    quantization-aware accuracy,
 5. re-run the search under the legacy engines via the central engine
-   config — one ``with`` block instead of threading ``engine=`` kwargs.
+   config — one ``with`` block instead of threading ``engine=`` kwargs,
+6. deploy the searched pwl inside a segmentation model and predict
+   through the compiled inference engine (traced once, then replayed).
 
 Run with::
 
@@ -61,6 +63,22 @@ def main() -> None:
         legacy_outcome = searcher.search(generations=200, seed=0)
     identical = np.array_equal(legacy_outcome.breakpoints, outcome.breakpoints)
     print("\nlegacy-engine rerun identical:", identical)
+
+    # 5. Compiled model inference: drop the searched GELU pwl into a
+    #    MiniSegformer and predict through the traced-graph executor
+    #    (REPRO_INFER_ENGINE=compiled does the same globally).  The first
+    #    compiled call traces + optimises; repeats replay the plan, and
+    #    predictions are bit-identical to the eager path.
+    from repro.nn.approx import PWLSuite
+    from repro.nn.models import MiniSegformer, ModelConfig
+
+    suite = PWLSuite(approximations={"gelu": outcome.pwl_fxp}, replace={"gelu"})
+    model = MiniSegformer(ModelConfig(image_size=16, embed_dim=16, depth=1), suite=suite)
+    model.eval()
+    images = np.random.default_rng(0).normal(size=(2, 16, 16, 3))
+    eager_pred = model.predict(images, engine="eager")
+    compiled_pred = model.predict(images, engine="compiled")
+    print("compiled == eager predictions:", np.array_equal(compiled_pred, eager_pred))
 
 
 if __name__ == "__main__":

@@ -17,6 +17,10 @@ The package is organised as:
   the pwl unit (Table 6).
 * :mod:`repro.nn` — a numpy autograd + miniature Transformer substrate used
   for the fine-tuning experiments (Tables 4 and 5).
+* :mod:`repro.graph` — traced graph IR, optimisation passes and the
+  compiled inference executor (``REPRO_INFER_ENGINE=compiled``).
+* :mod:`repro.serve` — the micro-batching serving front-end over compiled
+  inference.
 * :mod:`repro.data` — synthetic semantic-segmentation data.
 * :mod:`repro.experiments` — runners reproducing each table and figure.
 

@@ -25,7 +25,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.engine_config import resolve_pwl_engine
+from repro.core.engine_config import resolve_infer_engine, resolve_pwl_engine
 from repro.core.lut import DenseLUT, QuantizedLUT
 from repro.core.pwl import PiecewiseLinear
 from repro.functions.nonlinear import NonLinearFunction
@@ -202,6 +202,7 @@ class NNLUT:
         spec: QuantSpec = QuantSpec(bits=8, signed=True),
         frac_bits: int = 5,
         engine: Optional[str] = None,
+        infer_engine: Optional[str] = None,
     ) -> Union[DenseLUT, QuantizedLUT]:
         """Deploy the trained network as a quantization-aware LUT unit.
 
@@ -210,9 +211,18 @@ class NNLUT:
         ``engine="dense"`` materialises the ``2^bits``-entry gather table,
         ``engine="legacy"`` returns the comparer-based :class:`QuantizedLUT`;
         both are bit-identical over every input code, and ``None`` resolves
-        through :mod:`repro.core.engine_config`.  Trains first if the
-        network has not been trained yet.
+        through :mod:`repro.core.engine_config`.  When no pwl engine is
+        requested explicitly and the *model* inference engine resolves to
+        ``"compiled"`` (``REPRO_INFER_ENGINE=compiled``), the dense gather
+        table is materialised — the compiled executor serves LUT operators
+        from precomputed tables, never from the per-call comparer pipeline.
+        An explicit ``engine=`` kwarg always wins (the engine-config
+        contract), so requesting the legacy comparer form stays possible
+        under a compiled deployment.  Trains first if the network has not
+        been trained yet.
         """
+        if engine is None and resolve_infer_engine(infer_engine) == "compiled":
+            engine = "dense"
         engine = resolve_pwl_engine(engine)
         if not self._trained:
             self.train()

@@ -5,7 +5,10 @@ threaded by hand through constructors and budget dataclasses:
 
 * the genetic search scoring path (``"batch"`` | ``"legacy"``),
 * the pwl operator inference engine (``"dense"`` | ``"legacy"``),
-* the experiment sweep's worker count and on-disk artifact directory.
+* the experiment sweep's worker count and on-disk artifact directory,
+* the whole-model inference engine (``"compiled"`` | ``"eager"``): whether
+  ``predict`` / no-grad evaluation replays a traced, optimised
+  :mod:`repro.graph` plan or rebuilds the dynamic autograd graph per call.
 
 This module collapses them into a single :class:`EngineConfig` resolved per
 knob with the precedence **kwarg > context > env > default**:
@@ -13,8 +16,10 @@ knob with the precedence **kwarg > context > env > default**:
 1. an explicit keyword argument at a call site always wins,
 2. otherwise the innermost :func:`use` context-manager override applies,
 3. otherwise the environment (``REPRO_GA_ENGINE``, ``REPRO_PWL_ENGINE``,
-   ``REPRO_SWEEP_WORKERS``, ``REPRO_ARTIFACT_DIR``),
-4. otherwise the defaults (``batch`` / ``dense`` / ``0`` / no store).
+   ``REPRO_SWEEP_WORKERS``, ``REPRO_ARTIFACT_DIR``,
+   ``REPRO_INFER_ENGINE``),
+4. otherwise the defaults (``batch`` / ``dense`` / ``0`` / no store /
+   ``eager``).
 
 Consumers (:class:`~repro.core.genetic.GeneticSearch`,
 :class:`~repro.nn.approx.PWLActivation` and friends,
@@ -47,12 +52,14 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 # ``repro.core.lut`` alias these, so the validators can never drift.
 GA_ENGINES: Tuple[str, ...] = ("batch", "legacy")
 PWL_ENGINES: Tuple[str, ...] = ("dense", "legacy")
+INFER_ENGINES: Tuple[str, ...] = ("eager", "compiled")
 
 # Environment knobs (the env layer of the resolution order).
 GA_ENGINE_ENV = "REPRO_GA_ENGINE"
 PWL_ENGINE_ENV = "REPRO_PWL_ENGINE"
 SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
+INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -63,10 +70,12 @@ class EngineConfig:
     pwl_engine: str = "dense"
     sweep_workers: int = 0
     artifact_dir: Optional[str] = None
+    infer_engine: str = "eager"
 
     def __post_init__(self) -> None:
         check_ga_engine(self.ga_engine)
         check_pwl_engine(self.pwl_engine)
+        check_infer_engine(self.infer_engine)
         if self.sweep_workers < 0:
             raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
 
@@ -85,6 +94,15 @@ def check_pwl_engine(engine: str) -> str:
     if engine not in PWL_ENGINES:
         raise ValueError(
             "unknown engine %r; expected one of %s" % (engine, PWL_ENGINES)
+        )
+    return engine
+
+
+def check_infer_engine(engine: str) -> str:
+    """Validate a model inference engine name."""
+    if engine not in INFER_ENGINES:
+        raise ValueError(
+            "unknown engine %r; expected one of %s" % (engine, INFER_ENGINES)
         )
     return engine
 
@@ -114,6 +132,9 @@ def _env_layer() -> Dict[str, Any]:
     directory = os.environ.get(ARTIFACT_DIR_ENV)
     if directory:
         layer["artifact_dir"] = directory
+    infer = os.environ.get(INFER_ENGINE_ENV)
+    if infer:
+        layer["infer_engine"] = infer
     return layer
 
 
@@ -178,3 +199,17 @@ def resolve_artifact_dir(override: Optional[str] = None) -> Optional[str]:
     if override is not None:
         return override
     return current().artifact_dir
+
+
+def resolve_infer_engine(override: Optional[str] = None) -> str:
+    """Model inference engine: kwarg > context > env > ``"eager"``.
+
+    ``"compiled"`` routes whole-model inference (``predict`` / no-grad
+    evaluation / LUT deployment) through the traced-graph executor of
+    :mod:`repro.graph`; ``"eager"`` rebuilds the dynamic autograd graph per
+    call.  Both produce bit-identical outputs — the compiled executor
+    replays exactly the ops the eager forward would run.
+    """
+    if override is not None:
+        return check_infer_engine(override)
+    return current().infer_engine

@@ -1,0 +1,53 @@
+"""Traced graph IR, optimisation passes and the compiled inference executor.
+
+The capture → optimize → execute pipeline that turns one eager forward run
+of a :class:`repro.nn.module.Module` into a static, replayable plan:
+
+* :mod:`repro.graph.ir` — the :class:`Graph`/:class:`Node` IR.
+* :mod:`repro.graph.trace` — capture via the ``apply_op`` dispatch hook.
+* :mod:`repro.graph.passes` — constant folding, dense-LUT fusion,
+  dead-code elimination, liveness-based buffer planning.
+* :mod:`repro.graph.executor` — :class:`CompiledGraph` (one signature) and
+  :class:`CompiledModel` (shape-specialisation cache + staleness checks).
+
+Compiled outputs are bit-identical to eager — the passes only remove or
+pre-evaluate work, never approximate it.  Select the engine through
+:mod:`repro.core.engine_config` (``REPRO_INFER_ENGINE=compiled``) or call
+:func:`compile_model` directly.
+"""
+
+from repro.graph.executor import (
+    CompiledGraph,
+    CompiledModel,
+    compile_graph,
+    compile_model,
+)
+from repro.graph.ir import Graph, Node
+from repro.graph.passes import (
+    DEFAULT_PASSES,
+    MemoryPlan,
+    dead_code_elimination,
+    fold_constants,
+    fuse_dense_lookups,
+    optimize,
+    plan_memory,
+)
+from repro.graph.trace import Tracer, trace
+
+__all__ = [
+    "Graph",
+    "Node",
+    "Tracer",
+    "trace",
+    "optimize",
+    "DEFAULT_PASSES",
+    "dead_code_elimination",
+    "fold_constants",
+    "fuse_dense_lookups",
+    "MemoryPlan",
+    "plan_memory",
+    "CompiledGraph",
+    "CompiledModel",
+    "compile_graph",
+    "compile_model",
+]

@@ -1,0 +1,185 @@
+"""Execute: replay an optimised :class:`Graph` through ``backend.xp``.
+
+Two layers:
+
+* :class:`CompiledGraph` — one graph, one input signature.  At build time
+  every node is resolved to a bound array-level callable (registry op
+  forwards with their params pre-bound, or a fusion-pass graph kernel) and
+  the :func:`~repro.graph.passes.plan_memory` slot assignment is frozen
+  into a flat step list.  ``run`` is then a tight loop over plain arrays:
+  no Tensor allocation, no graph bookkeeping, no ``no_grad`` checks, and
+  buffers are released at their last use so steady-state inference holds
+  only the live working set.
+* :class:`CompiledModel` — a serving-grade wrapper around a ``Module``:
+  traces + optimises lazily per input signature (the shape-specialisation
+  cache), detects parameter rebinding between calls (optimiser steps,
+  ``load_state_dict``) by identity-checking a snapshot of every
+  parameter's array and re-traces when the weights moved, and exposes the
+  ``predict`` surface the serving engine batches over.
+
+All ops execute through the active :mod:`repro.backend`, so a compiled
+graph retargets with ``use_backend`` exactly like the eager path (capture
+and execution must use the same backend — node params and constants hold
+that backend's arrays).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.backend import xp as np
+from repro.graph.ir import Graph
+from repro.graph.passes import (
+    DEFAULT_PASSES,
+    GRAPH_KERNELS,
+    MemoryPlan,
+    optimize,
+    plan_memory,
+)
+from repro.graph.trace import trace
+from repro.nn import ops as _ops
+from repro.nn.module import Module
+
+
+class CompiledGraph:
+    """A graph frozen into an executable step list for one signature."""
+
+    def __init__(self, graph: Graph, plan: Optional[MemoryPlan] = None) -> None:
+        graph.validate()
+        self.graph = graph
+        self.plan = plan if plan is not None else plan_memory(graph)
+        template: List[Any] = [None] * self.plan.num_slots
+        for vid, slot in self.plan.constant_slots.items():
+            template[slot] = graph.constants[vid]
+        self._template = template
+        steps = []
+        for node, releases in zip(graph.nodes, self.plan.releases):
+            kernel_factory = GRAPH_KERNELS.get(node.op)
+            if kernel_factory is not None:
+                fn = kernel_factory(node.params)
+            else:
+                forward = _ops.get_op(node.op).forward
+                fn = functools.partial(forward, **node.params) if node.params else forward
+            src = tuple(self.plan.slots[vid] for vid in node.inputs)
+            steps.append((fn, src, self.plan.slots[node.output], releases))
+        self._steps = tuple(steps)
+        self._input_slots = tuple(self.plan.slots[vid] for vid in graph.inputs)
+        self._output_slots = tuple(self.plan.slots[vid] for vid in graph.outputs)
+
+    def run(self, *inputs: Any) -> List[Any]:
+        """Execute the plan on raw arrays; returns the output arrays.
+
+        Not re-entrant: one run at a time per CompiledGraph (the serving
+        engine funnels requests through a single worker for this reason).
+        """
+        if len(inputs) != len(self._input_slots):
+            raise ValueError(
+                "compiled graph expects %d input(s), got %d"
+                % (len(self._input_slots), len(inputs))
+            )
+        env = list(self._template)
+        for slot, array in zip(self._input_slots, inputs):
+            env[slot] = array
+        for fn, src, out_slot, releases in self._steps:
+            out = fn(*[env[s] for s in src])
+            if type(out) is tuple:  # (output, saved) registry convention
+                out = out[0]
+            env[out_slot] = out
+            for slot in releases:
+                env[slot] = None
+        return [env[slot] for slot in self._output_slots]
+
+    @property
+    def num_steps(self) -> int:
+        return len(self._steps)
+
+
+def compile_graph(graph: Graph, passes: Sequence[str] = DEFAULT_PASSES) -> CompiledGraph:
+    """Optimise ``graph`` with ``passes`` and freeze it for execution."""
+    return CompiledGraph(optimize(graph, passes))
+
+
+class CompiledModel:
+    """Traced-and-optimised inference front-end for a :class:`Module`.
+
+    Compilation is lazy and per input signature ``(shape, dtype)``: the
+    first call with a new signature traces the module's eager forward once
+    (running any first-call side effects — quantizer initialisation, dense
+    table builds — exactly as eager would), optimises, and caches the
+    executable.  Subsequent calls replay the cached plan.
+
+    The captured constants reference the module's parameter arrays at
+    trace time.  Before every call the wrapper identity-checks each
+    parameter's ``.data`` against its trace-time snapshot and flushes the
+    cache when any was rebound, so training between evaluations (optimiser
+    steps rebind ``.data``) transparently re-compiles.  In-place array
+    mutation (``param.data[:] = ...``) is not detected — nothing in this
+    codebase mutates parameters in place.
+    """
+
+    def __init__(self, module: Module, passes: Sequence[str] = DEFAULT_PASSES) -> None:
+        self.module = module
+        self.passes = tuple(passes)
+        self._cache: Dict[Tuple[Tuple[Tuple[int, ...], str], ...], CompiledGraph] = {}
+        self._param_snapshot: List[Tuple[Any, Any]] = []
+        self.compile_count = 0
+
+    # -- cache management ------------------------------------------------------
+
+    @staticmethod
+    def _signature(arrays: Sequence[Any]) -> Tuple[Tuple[Tuple[int, ...], str], ...]:
+        return tuple((tuple(a.shape), str(a.dtype)) for a in arrays)
+
+    def _params_moved(self) -> bool:
+        for param, data in self._param_snapshot:
+            if param.data is not data:
+                return True
+        return False
+
+    def _take_snapshot(self) -> None:
+        self._param_snapshot = [(p, p.data) for p in self.module.parameters()]
+
+    def invalidate(self) -> None:
+        """Drop every cached specialisation (forces re-tracing)."""
+        self._cache.clear()
+        self._param_snapshot = []
+
+    @property
+    def specializations(self) -> int:
+        """Number of cached input-signature specialisations."""
+        return len(self._cache)
+
+    def graph_for(self, *arrays: Any) -> CompiledGraph:
+        """The cached (or freshly compiled) executable for this signature."""
+        if self._param_snapshot and self._params_moved():
+            self.invalidate()
+        signature = self._signature(arrays)
+        compiled = self._cache.get(signature)
+        if compiled is None:
+            captured = trace(self.module, *arrays)
+            compiled = CompiledGraph(optimize(captured, self.passes))
+            self._cache[signature] = compiled
+            self.compile_count += 1
+            # Snapshot *after* tracing: first-call side effects (quantizer
+            # initialisation) rebind parameter data during capture and are
+            # part of the captured state, not a reason to invalidate.
+            self._take_snapshot()
+        return compiled
+
+    # -- inference surface -----------------------------------------------------
+
+    def __call__(self, *inputs: Any):
+        """Run the compiled forward; returns the raw output array(s)."""
+        arrays = [np.asarray(value, dtype=np.float64) for value in inputs]
+        outputs = self.graph_for(*arrays).run(*arrays)
+        return outputs[0] if len(outputs) == 1 else tuple(outputs)
+
+    def predict(self, images: Any):
+        """Per-pixel argmax class prediction (mirrors the eager predict)."""
+        return np.argmax(self(images), axis=-1)
+
+
+def compile_model(module: Module, passes: Sequence[str] = DEFAULT_PASSES) -> CompiledModel:
+    """Wrap ``module`` for compiled inference (lazy per-signature tracing)."""
+    return CompiledModel(module, passes=passes)

@@ -1,0 +1,261 @@
+"""Optimize: deterministic rewrite passes over the traced :class:`Graph`.
+
+Four passes, composed by :func:`optimize` (each takes and returns a
+:class:`~repro.graph.ir.Graph`; none mutates its input):
+
+* :func:`fold_constants` — evaluate every node whose inputs are all
+  constants once at compile time.  This collapses the parameter-only
+  subtrees the eager path re-runs per call: LSQ weight fake-quantization
+  chains, power-of-two scale snapping (``abs → log → round_ste → exp``),
+  lifted scalar arithmetic.
+* :func:`fuse_dense_lookups` — recognise the quantize → output-gather →
+  slope-gather kernels the dense-LUT engine dispatches
+  (``apply_elementwise_fused`` bound to :meth:`DenseLUT.lookup_with_slope`
+  or :meth:`MultiRangePWL.lookup_with_slope`) and rewrite them to
+  inference-only graph kernels that skip the slope gather entirely —
+  inference consumes the output table only.
+* :func:`dead_code_elimination` — drop nodes (and constants) that no
+  graph output transitively consumes.
+* :func:`plan_memory` — not a rewrite but the liveness analysis the
+  executor replays: every value gets a buffer slot, slots are released at
+  each value's last use and reused for later values, so steady-state
+  inference holds only the live set instead of every intermediate.
+
+All passes are semantics-preserving by construction: folding runs the
+exact registered forward on the exact captured arrays, fusion swaps in a
+kernel documented (and pinned by the engine-parity tests) to be
+bit-identical to the fused pair's output half, and DCE only removes
+unobservable work.  Compiled results therefore match eager bit for bit.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.lut import DenseLUT
+from repro.graph.ir import Graph, Node
+from repro.nn import ops as _ops
+from repro.scaling.multi_range import MultiRangePWL
+
+#: Inference-only kernels the fusion pass introduces.  Each entry maps the
+#: node's params to the array-level callable the executor invokes; these
+#: live outside the :mod:`repro.nn.ops` VJP registry on purpose — they have
+#: no gradients and exist only inside compiled graphs.
+GRAPH_KERNELS = {
+    # One quantize pass + one gather from the dense output table
+    # (bit-identical to the output half of DenseLUT.lookup_with_slope).
+    "dense_lookup": lambda params: params["table"].__call__,
+    # Single-searchsorted classify/rescale over the slot tables
+    # (bit-identical to the output half of MultiRangePWL.lookup_with_slope).
+    "multirange_lookup": lambda params: params["table"].lookup,
+}
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Remove nodes and constants no graph output transitively needs.
+
+    Graph inputs are kept even when unused — they are the call signature.
+    """
+    needed = set(graph.outputs)
+    kept_reversed: List[Node] = []
+    for node in reversed(graph.nodes):
+        if node.output in needed:
+            kept_reversed.append(node)
+            needed.update(node.inputs)
+    return Graph(
+        inputs=list(graph.inputs),
+        outputs=list(graph.outputs),
+        nodes=list(reversed(kept_reversed)),
+        constants={v: a for v, a in graph.constants.items() if v in needed},
+        num_values=graph.num_values,
+    )
+
+
+def fold_constants(graph: Graph) -> Graph:
+    """Evaluate nodes whose inputs are all constants at compile time.
+
+    The node's registered forward runs once on the captured arrays and the
+    result becomes a constant, so the executor never revisits the subtree.
+    Graph kernels (no registry entry) and nodes with non-constant inputs
+    pass through untouched.  Run :func:`dead_code_elimination` afterwards
+    to drop the source constants the folded nodes consumed.
+    """
+    constants = dict(graph.constants)
+    nodes: List[Node] = []
+    for node in graph.nodes:
+        try:
+            op = _ops.get_op(node.op)
+        except KeyError:
+            nodes.append(node)
+            continue
+        if all(vid in constants for vid in node.inputs):
+            arrays = [constants[vid] for vid in node.inputs]
+            out, _ = _ops.run_forward(op, *arrays, **node.params)
+            constants[node.output] = out
+        else:
+            nodes.append(node)
+    return Graph(
+        inputs=list(graph.inputs),
+        outputs=list(graph.outputs),
+        nodes=nodes,
+        constants=constants,
+        num_values=graph.num_values,
+    )
+
+
+def fuse_dense_lookups(graph: Graph) -> Graph:
+    """Rewrite fused LUT dispatches to output-only inference kernels.
+
+    The dense engine's training form computes output *and* slope in one
+    pass (the slope feeds backward).  Inference needs only the output, so
+    an ``elementwise_fused`` node whose callable is bound to
+    ``DenseLUT.lookup_with_slope`` becomes a ``dense_lookup`` kernel (one
+    quantize + one gather) and one bound to
+    ``MultiRangePWL.lookup_with_slope`` becomes a ``multirange_lookup``
+    kernel (one classify + pwl evaluation), dropping the slope gather.
+    """
+    nodes: List[Node] = []
+    for node in graph.nodes:
+        replacement = None
+        if node.op == "elementwise_fused":
+            fused_fn = node.params.get("fused_fn")
+            owner = getattr(fused_fn, "__self__", None)
+            method = getattr(fused_fn, "__name__", "")
+            if method == "lookup_with_slope":
+                if isinstance(owner, DenseLUT):
+                    replacement = "dense_lookup"
+                elif isinstance(owner, MultiRangePWL):
+                    replacement = "multirange_lookup"
+        if replacement is not None:
+            nodes.append(
+                Node(
+                    op=replacement,
+                    inputs=node.inputs,
+                    output=node.output,
+                    params={"table": owner},
+                    label=node.label,
+                )
+            )
+        else:
+            nodes.append(node)
+    return Graph(
+        inputs=list(graph.inputs),
+        outputs=list(graph.outputs),
+        nodes=nodes,
+        constants=dict(graph.constants),
+        num_values=graph.num_values,
+    )
+
+
+#: Default pipeline: fold parameter subtrees, fuse LUT kernels, then sweep
+#: the now-dead slope machinery and folded-away source constants.
+DEFAULT_PASSES: Tuple[str, ...] = ("fold", "fuse", "dce")
+
+_PASS_TABLE = {
+    "fold": fold_constants,
+    "fuse": fuse_dense_lookups,
+    "dce": dead_code_elimination,
+}
+
+
+def optimize(graph: Graph, passes: Sequence[str] = DEFAULT_PASSES) -> Graph:
+    """Run the named passes in order and validate the result."""
+    for name in passes:
+        try:
+            pass_fn = _PASS_TABLE[name]
+        except KeyError:
+            raise ValueError(
+                "unknown pass %r; available: %s" % (name, sorted(_PASS_TABLE))
+            ) from None
+        graph = pass_fn(graph)
+    graph.validate()
+    return graph
+
+
+# -- liveness-based buffer planning ---------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryPlan:
+    """Slot assignment produced by :func:`plan_memory`.
+
+    ``slots`` maps every value id to a buffer slot in the executor's
+    environment list.  ``constant_slots`` is the subset holding bound
+    constants (prefilled once, never released).  ``releases[i]`` lists the
+    slots to clear immediately after node ``i`` runs — each is the slot of
+    a value whose last consumer was node ``i`` — which drops the array
+    reference so the allocator can reuse the memory (views pin their base
+    arrays through normal refcounting, so releasing a base early is safe).
+    ``num_slots`` is the environment size; ``peak_live`` counts the most
+    dynamic (non-constant) slots ever simultaneously occupied — the
+    steady-state working set.
+    """
+
+    slots: Dict[int, int]
+    constant_slots: Dict[int, int]
+    releases: Tuple[Tuple[int, ...], ...]
+    num_slots: int
+    peak_live: int
+
+
+def plan_memory(graph: Graph) -> MemoryPlan:
+    """Assign buffer slots by liveness so later values reuse dead slots."""
+    slots: Dict[int, int] = {}
+    constant_slots: Dict[int, int] = {}
+    for vid in sorted(graph.constants):
+        slot = len(slots)
+        slots[vid] = slot
+        constant_slots[vid] = slot
+    next_slot = len(slots)
+
+    last_use: Dict[int, int] = {}
+    for index, node in enumerate(graph.nodes):
+        for vid in node.inputs:
+            last_use[vid] = index
+    never_released = set(graph.outputs) | set(constant_slots)
+
+    free: List[int] = []
+    peak_live = 0
+    live = 0
+
+    def acquire(vid: int) -> None:
+        nonlocal next_slot, live, peak_live
+        if free:
+            slots[vid] = free.pop()
+        else:
+            slots[vid] = next_slot
+            next_slot += 1
+        live += 1
+        peak_live = max(peak_live, live)
+
+    for vid in graph.inputs:
+        acquire(vid)
+
+    releases: List[Tuple[int, ...]] = []
+    for index, node in enumerate(graph.nodes):
+        acquire(node.output)
+        dead: List[int] = []
+        candidates = set(node.inputs)
+        # A value produced but never consumed (and not a graph output) dies
+        # immediately; DCE removes these, but the plan must not rely on it.
+        candidates.add(node.output)
+        for vid in candidates:
+            if vid in never_released:
+                continue
+            if last_use.get(vid, -1) <= index and vid in slots:
+                slot = slots[vid]
+                if slot not in dead and vid not in constant_slots:
+                    dead.append(slot)
+        for slot in dead:
+            free.append(slot)
+        live -= len(dead)
+        releases.append(tuple(sorted(dead)))
+
+    return MemoryPlan(
+        slots=slots,
+        constant_slots=constant_slots,
+        releases=tuple(releases),
+        num_slots=next_slot,
+        peak_live=peak_live,
+    )

@@ -1,0 +1,133 @@
+"""Capture: run an eager forward once, emit a static :class:`Graph`.
+
+The tracer piggybacks on the single dispatch point of the autograd
+substrate: every Tensor operation routes through
+:func:`repro.nn.tensor.apply_op`, which reports to the installed tracer
+(see :func:`repro.nn.tensor.tracing`).  Running a ``Module.forward`` once
+with placeholder inputs therefore yields the complete op sequence, with
+
+* placeholder tensors becoming graph **inputs**,
+* every tensor that enters a dispatch from outside the traced set
+  (parameters, LUT tables, lifted Python scalars) becoming a bound
+  **constant**,
+* ``detach()`` recorded as an alias — detach cuts gradients, not values,
+  so the detached tensor maps to the same value id as its source.
+
+Tracing runs under ``no_grad`` (the capture targets inference), so the
+eager pass builds no backward graph while being recorded.
+
+Constants are bound **by reference**: the graph holds the same arrays the
+module does at capture time.  Rebinding a parameter's ``.data`` afterwards
+does not change the captured graph (the executor's model wrapper detects
+this and re-traces); mutating an array *in place* would leak into compiled
+results and is not something this codebase does.
+
+Shape specialisation is inherent to capture: Python-level shape logic
+(``reshape(batch, ...)``, grid arithmetic) executes at trace time and is
+burned into node params, so a trace is valid exactly for the input
+signature it was captured with.  :class:`repro.graph.executor.CompiledModel`
+keys its cache on that signature and re-traces per new shape.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.backend import xp as np
+from repro.graph.ir import Graph, Node
+from repro.nn.tensor import Tensor, no_grad, tracing
+
+
+class Tracer:
+    """Records apply_op dispatches into a :class:`Graph`.
+
+    Tensor identity is tracked with ``id()`` keys; the tracer keeps a
+    strong reference to every tensor it has mapped so ids cannot be
+    recycled mid-trace.
+    """
+
+    def __init__(self) -> None:
+        self.graph = Graph()
+        self._value_ids: Dict[int, int] = {}
+        self._keepalive: List[Tensor] = []
+
+    # -- placeholder management ------------------------------------------------
+
+    def add_input(self, tensor: Tensor) -> int:
+        vid = self.graph.new_value()
+        self.graph.inputs.append(vid)
+        self._bind(tensor, vid)
+        return vid
+
+    def _bind(self, tensor: Tensor, vid: int) -> None:
+        self._value_ids[id(tensor)] = vid
+        self._keepalive.append(tensor)
+
+    def _value_of(self, tensor: Tensor) -> int:
+        """The value id for ``tensor``, binding it as a constant if new."""
+        vid = self._value_ids.get(id(tensor))
+        if vid is None:
+            vid = self.graph.add_constant(tensor.data)
+            self._bind(tensor, vid)
+        return vid
+
+    # -- hooks invoked by repro.nn.tensor --------------------------------------
+
+    def record_op(self, name: str, inputs: Sequence[Tensor], params: Dict[str, Any],
+                  out: Tensor) -> None:
+        in_ids = tuple(self._value_of(t) for t in inputs)
+        out_id = self.graph.new_value()
+        self._bind(out, out_id)
+        label = params.get("name") if name in ("elementwise", "elementwise_fused") else None
+        self.graph.nodes.append(
+            Node(op=name, inputs=in_ids, output=out_id, params=dict(params), label=label)
+        )
+
+    def record_alias(self, source: Tensor, alias: Tensor) -> None:
+        self._bind(alias, self._value_of(source))
+
+    # -- finalisation ----------------------------------------------------------
+
+    def mark_outputs(self, tensors: Sequence[Tensor]) -> None:
+        for tensor in tensors:
+            # An output the trace never saw (a function returning a tensor
+            # it was handed, or a freshly built constant) still resolves:
+            # _value_of binds it as a constant.
+            self.graph.outputs.append(self._value_of(tensor))
+
+
+def trace(fn: Callable[..., Any], *example_inputs: Any) -> Graph:
+    """Run ``fn`` once on placeholder tensors and capture its graph.
+
+    ``fn`` is any callable taking and returning :class:`Tensor` values — a
+    ``Module`` works directly.  ``example_inputs`` are arrays (or anything
+    ``asarray`` accepts) defining the input signature; the capture runs the
+    real eager forward on them, so trace-time side effects (quantizer
+    initialisation from first data, dense-table builds) happen exactly as
+    the first eager call would cause them.
+
+    Returns the validated :class:`Graph`.  Multi-output callables may
+    return a tuple/list of tensors; single tensors become one output.
+    """
+    tracer = Tracer()
+    placeholders = []
+    for example in example_inputs:
+        tensor = Tensor(np.asarray(example, dtype=np.float64))
+        tracer.add_input(tensor)
+        placeholders.append(tensor)
+    with no_grad():
+        with tracing(tracer):
+            result = fn(*placeholders)
+    outputs: Tuple[Tensor, ...]
+    if isinstance(result, Tensor):
+        outputs = (result,)
+    elif isinstance(result, (tuple, list)) and all(isinstance(t, Tensor) for t in result):
+        outputs = tuple(result)
+    else:
+        raise TypeError(
+            "traced callable must return a Tensor or a tuple/list of Tensors, "
+            "got %r" % type(result).__name__
+        )
+    tracer.mark_outputs(outputs)
+    tracer.graph.validate()
+    return tracer.graph

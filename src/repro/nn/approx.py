@@ -32,7 +32,7 @@ from repro.nn import functional as F
 from repro.nn.layers import GELU, HSwish, LayerNorm
 from repro.nn.module import Module, Parameter
 from repro.nn.quantization import PowerOfTwoQuantizer
-from repro.nn.tensor import Tensor, is_grad_enabled
+from repro.nn.tensor import Tensor, is_grad_enabled, is_tracing
 from repro.quant.quantizer import QuantSpec
 from repro.scaling.multi_range import MultiRangePWL, MultiRangeScaling, default_multi_range
 
@@ -46,7 +46,7 @@ class PWLElementwise(Module):
         self._slope_fn = slope_fn
 
     def forward(self, x: Tensor) -> Tensor:
-        return x.apply_elementwise(self._forward_fn, self._slope_fn)
+        return x.apply_elementwise(self._forward_fn, self._slope_fn, name="pwl_elementwise")
 
 
 class QuantizedActivation(Module):
@@ -127,10 +127,15 @@ class PWLActivation(Module):
     def forward(self, x: Tensor) -> Tensor:
         if not self.quantizer.initialised:
             self.quantizer.initialise_from(x.data)
+        kernel = "pwl[%s]" % self.name
         if self.engine == "dense":
             table = self._dense()
-            if is_grad_enabled() and x.requires_grad:
-                return x.apply_elementwise_fused(table.lookup_with_slope)
+            if is_tracing() or (is_grad_enabled() and x.requires_grad):
+                # Under tracing the fused dispatch keeps the lookup on the
+                # recorded apply_op path (the graph fusion pass rewrites it
+                # to the output-only gather); elsewhere the no-grad branch
+                # below skips the Tensor/op machinery entirely.
+                return x.apply_elementwise_fused(table.lookup_with_slope, name=kernel)
             return Tensor(table(x.data))
         lut = self._lut()
 
@@ -142,7 +147,7 @@ class PWLActivation(Module):
             idx = lut.segment_index(q)
             return lut.stored_slopes[idx]
 
-        return x.apply_elementwise(forward_fn, slope_fn)
+        return x.apply_elementwise(forward_fn, slope_fn, name=kernel)
 
 
 class PWLWideRange(Module):
@@ -164,12 +169,13 @@ class PWLWideRange(Module):
 
     def forward(self, x: Tensor) -> Tensor:
         wrapped = self.wrapped
+        kernel = "pwl_wide[%s]" % self.name
         if self.engine == "dense":
             # Wide-range inputs are not integer codes, so there is no dense
             # table; the engine win here is the fused single-classification
             # pass that produces output and slope together.
-            if is_grad_enabled() and x.requires_grad:
-                return x.apply_elementwise_fused(wrapped.lookup_with_slope)
+            if is_tracing() or (is_grad_enabled() and x.requires_grad):
+                return x.apply_elementwise_fused(wrapped.lookup_with_slope, name=kernel)
             return Tensor(wrapped.lookup(x.data))
         fxp = wrapped.fxp_pwl
 
@@ -184,7 +190,7 @@ class PWLWideRange(Module):
             idx = fxp.segment_index(scaled)
             return factor * fxp.slopes[idx] * input_scale
 
-        return x.apply_elementwise(forward_fn, slope_fn)
+        return x.apply_elementwise(forward_fn, slope_fn, name=kernel)
 
 
 class PWLLayerNorm(Module):

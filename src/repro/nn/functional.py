@@ -107,7 +107,13 @@ def lsq_quantize(
     # where the input saturates, the quantized value is qmin/qmax * scale and
     # its derivative w.r.t. scale is qmin/qmax.  The composition below keeps
     # that dependence because `rounded` is multiplied by `scale` again.
-    if grad_scale != 1.0:
+    #
+    # The recombination only exists to attenuate *scale's gradient* (the LSQ
+    # sqrt(count) heuristic), so it is skipped when no gradient can flow to
+    # the scale: the identity `s*g + s*(1-g) == s` holds in exact arithmetic
+    # but not bitwise in floats, and since grad_scale depends on x.size the
+    # 1-ulp perturbation would make no-grad inference batch-size dependent.
+    if grad_scale != 1.0 and scale.requires_grad:
         scale = scale * grad_scale + scale.detach() * (1.0 - grad_scale)
     return rounded * scale
 

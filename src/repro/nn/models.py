@@ -127,6 +127,7 @@ class SegmentationTransformer(Module):
         super().__init__()
         suite = suite or FloatSuite()
         self.config = config
+        self._compiled_model = None
         self.suite_name = suite.name
         self.attention_kind = attention_kind
         self.activation_kind = activation_kind
@@ -167,8 +168,33 @@ class SegmentationTransformer(Module):
         tokens = self.final_norm(tokens)
         return self.head(tokens, grid_h, grid_w)
 
-    def predict(self, images) -> np.ndarray:
-        """Per-pixel argmax class prediction (no gradient tracking)."""
+    def compiled(self):
+        """The (lazily created) compiled-inference wrapper for this model.
+
+        One :class:`repro.graph.executor.CompiledModel` per model instance;
+        it traces per input signature on demand and re-traces automatically
+        when parameters are rebound (e.g. after further training), so the
+        handle stays valid across the model's lifetime.
+        """
+        if self._compiled_model is None:
+            from repro.graph.executor import CompiledModel
+
+            self._compiled_model = CompiledModel(self)
+        return self._compiled_model
+
+    def predict(self, images, engine: Optional[str] = None) -> np.ndarray:
+        """Per-pixel argmax class prediction (no gradient tracking).
+
+        ``engine`` selects the inference path — ``"compiled"`` replays the
+        traced/optimised graph plan, ``"eager"`` runs the dynamic forward —
+        and resolves through :mod:`repro.core.engine_config`
+        (kwarg > context > ``REPRO_INFER_ENGINE`` > ``"eager"``).  Both
+        paths return bit-identical predictions.
+        """
+        from repro.core.engine_config import resolve_infer_engine
+
+        if resolve_infer_engine(engine) == "compiled":
+            return self.compiled().predict(images)
         from repro.nn.tensor import Tensor, no_grad
 
         with no_grad():

@@ -82,13 +82,30 @@ class Module:
         """Copy of every parameter's data, keyed by dotted name."""
         return {name: param.data.copy() for name, param in self.named_parameters(prefix)}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameter values by dotted name; shapes must match."""
+    def load_state_dict(self, state: Dict[str, np.ndarray], strict: bool = True) -> None:
+        """Load parameter values by dotted name; shapes must match.
+
+        With ``strict`` (the default) the key sets must match exactly: the
+        error lists every missing and every unexpected key, so a renamed
+        submodule is diagnosable from the message alone.  ``strict=False``
+        loads the intersection and ignores the rest (the escape hatch for
+        partial checkpoints, e.g. loading a float backbone into a quantized
+        model).  A shape mismatch on a key being loaded always raises.
+        """
         own = dict(self.named_parameters())
-        missing = set(own) - set(state)
-        if missing:
-            raise KeyError("missing parameters in state dict: %s" % sorted(missing))
+        if strict:
+            missing = sorted(set(own) - set(state))
+            unexpected = sorted(set(state) - set(own))
+            if missing or unexpected:
+                raise KeyError(
+                    "state dict does not match the module: "
+                    "missing keys %s, unexpected keys %s "
+                    "(pass strict=False to load the matching subset)"
+                    % (missing, unexpected)
+                )
         for name, param in own.items():
+            if name not in state:
+                continue
             value = np.asarray(state[name], dtype=np.float64)
             if value.shape != param.data.shape:
                 raise ValueError(

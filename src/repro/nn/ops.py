@@ -361,10 +361,15 @@ register_op(
 # -- generic element-wise hooks (pwl table lookups) -----------------------------
 
 
-def _elementwise_forward(a, forward_fn, grad_fn):
+def _kernel_label(name: Optional[str]) -> str:
+    """Human-readable kernel identifier for error messages and traces."""
+    return "element-wise" if name is None else "element-wise kernel %r" % (name,)
+
+
+def _elementwise_forward(a, forward_fn, grad_fn, name=None):
     out = np.asarray(forward_fn(a), dtype=np.float64)
     if out.shape != a.shape:
-        raise ValueError("element-wise forward changed the shape")
+        raise ValueError("%s forward changed the shape" % _kernel_label(name))
     return out
 
 
@@ -372,25 +377,25 @@ register_op(
     "elementwise",
     forward=_elementwise_forward,
     vjps=(
-        lambda g, ans, s, a, forward_fn, grad_fn: g
+        lambda g, ans, s, a, forward_fn, grad_fn, name=None: g
         * np.asarray(grad_fn(a), dtype=np.float64),
     ),
 )
 
 
-def _elementwise_fused_forward(a, fused_fn):
+def _elementwise_fused_forward(a, fused_fn, name=None):
     out, slope = fused_fn(a)
     out = np.asarray(out, dtype=np.float64)
     if out.shape != a.shape:
-        raise ValueError("element-wise forward changed the shape")
+        raise ValueError("%s forward changed the shape" % _kernel_label(name))
     slope = np.asarray(slope, dtype=np.float64)
     if slope.shape != a.shape:
-        raise ValueError("element-wise derivative changed the shape")
+        raise ValueError("%s derivative changed the shape" % _kernel_label(name))
     return out, slope
 
 
 register_op(
     "elementwise_fused",
     forward=_elementwise_fused_forward,
-    vjps=(lambda g, ans, slope, a, fused_fn: g * slope,),
+    vjps=(lambda g, ans, slope, a, fused_fn, name=None: g * slope,),
 )

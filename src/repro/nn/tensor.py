@@ -29,6 +29,12 @@ from repro.nn import ops as _ops
 
 _GRAD_ENABLED = True
 
+# The active graph tracer (at most one).  While installed, every apply_op
+# dispatch and every detach alias is reported to it, which is how
+# :mod:`repro.graph.trace` captures a static IR from one eager forward run
+# without the model code cooperating.
+_TRACER = None
+
 
 @contextlib.contextmanager
 def no_grad():
@@ -44,6 +50,30 @@ def no_grad():
 
 def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
+
+
+def is_tracing() -> bool:
+    """Whether a graph tracer is currently capturing apply_op dispatches."""
+    return _TRACER is not None
+
+
+@contextlib.contextmanager
+def tracing(tracer):
+    """Install ``tracer`` as the active capture hook for a ``with`` block.
+
+    The tracer must provide ``record_op(name, inputs, params, out)`` and
+    ``record_alias(source, alias)``.  Tracing does not nest: a second
+    tracer inside an active capture raises, since the inner trace would
+    steal the outer one's ops.
+    """
+    global _TRACER
+    if _TRACER is not None:
+        raise RuntimeError("a graph tracer is already active; tracing does not nest")
+    _TRACER = tracer
+    try:
+        yield tracer
+    finally:
+        _TRACER = None
 
 
 def _unbroadcast(grad, shape: Tuple[int, ...]):
@@ -123,7 +153,12 @@ class Tensor:
 
     def detach(self) -> "Tensor":
         """A new tensor sharing data but cut from the graph."""
-        return Tensor(self.data, requires_grad=False)
+        out = Tensor(self.data, requires_grad=False)
+        if _TRACER is not None:
+            # Detach only cuts the *gradient* graph; the value still flows
+            # from the source, so the tracer aliases the two tensors.
+            _TRACER.record_alias(self, out)
+        return out
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -243,24 +278,28 @@ class Tensor:
         """Round to nearest with a straight-through gradient (Eq. 2 / LSQ)."""
         return apply_op("round_ste", self)
 
-    def apply_elementwise(self, forward_fn, grad_fn) -> "Tensor":
+    def apply_elementwise(self, forward_fn, grad_fn, name: Optional[str] = None) -> "Tensor":
         """Generic element-wise op: ``y = forward_fn(x)``, ``dy/dx = grad_fn(x)``.
 
         Used by the pwl-replacement modules, whose forward is a table lookup
-        and whose backward is the selected segment's slope.
+        and whose backward is the selected segment's slope.  ``name`` is an
+        optional stable identifier for the kernel — graph traces and error
+        messages would otherwise only see an opaque callable.
         """
-        return apply_op("elementwise", self, forward_fn=forward_fn, grad_fn=grad_fn)
+        return apply_op(
+            "elementwise", self, forward_fn=forward_fn, grad_fn=grad_fn, name=name
+        )
 
-    def apply_elementwise_fused(self, fused_fn) -> "Tensor":
+    def apply_elementwise_fused(self, fused_fn, name: Optional[str] = None) -> "Tensor":
         """Element-wise op producing output and derivative in a single pass.
 
         ``fused_fn(x)`` returns ``(y, dy/dx)`` together; the derivative is
         stashed for backward instead of being re-derived from the raw input.
         This is the dense-LUT fine-tuning path: one quantize feeds both the
         output gather and the slope gather, and backward is a single
-        multiply.
+        multiply.  ``name`` identifies the kernel in traces and errors.
         """
-        return apply_op("elementwise_fused", self, fused_fn=fused_fn)
+        return apply_op("elementwise_fused", self, fused_fn=fused_fn, name=name)
 
     # -- graph traversal -------------------------------------------------------
 
@@ -324,7 +363,7 @@ class Tensor:
                     node._parents = ()
 
 
-def apply_op(name: str, *inputs, **params) -> Tensor:
+def apply_op(op_name: str, *inputs, **params) -> Tensor:
     """Apply a registered op to tensors, recording the graph edge.
 
     This is the single entry point every Tensor operation routes through:
@@ -332,9 +371,11 @@ def apply_op(name: str, *inputs, **params) -> Tensor:
     arrays, and — when gradients are enabled and any input requires them —
     attaches the op's VJPs for the backward pass.  Under ``no_grad`` (or
     with detached inputs) the result carries no parents and no backward
-    hook, so intermediate graphs are never built.
+    hook, so intermediate graphs are never built.  (The first parameter is
+    ``op_name`` rather than ``name`` so op params may themselves carry a
+    ``name`` keyword — the element-wise kernels use it as a stable label.)
     """
-    op = _ops.get_op(name)
+    op = _ops.get_op(op_name)
     tensors = tuple(Tensor._lift(value) for value in inputs)
     arrays = tuple(t.data for t in tensors)
     out_data, saved = _ops.run_forward(op, *arrays, **params)
@@ -343,6 +384,8 @@ def apply_op(name: str, *inputs, **params) -> Tensor:
     if requires:
         needed = tuple(t.requires_grad for t in tensors)
         out._backward = _OpBackward(op, saved, arrays, params, needed)
+    if _TRACER is not None:
+        _TRACER.record_op(op_name, tensors, params, out)
     return out
 
 

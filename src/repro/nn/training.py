@@ -51,6 +51,7 @@ class Trainer:
         self.model = model
         self.config = config
         self._rng = np.random.default_rng(config.seed)
+        self._compiled_model = None  # lazy fallback for models without .compiled()
 
     def _batches(self, images: np.ndarray, labels: np.ndarray):
         count = images.shape[0]
@@ -60,12 +61,40 @@ class Trainer:
             idx = order[start:start + batch]
             yield images[idx], labels[idx]
 
-    def evaluate(self, images: np.ndarray, labels: np.ndarray, num_classes: int) -> Tuple[float, float]:
+    def evaluate(
+        self,
+        images: np.ndarray,
+        labels: np.ndarray,
+        num_classes: int,
+        engine: Optional[str] = None,
+    ) -> Tuple[float, float]:
         """Return (mIoU, pixel accuracy) on a dataset.
 
         The model's train/eval mode is restored afterwards, so evaluating an
         inference-mode model does not silently flip it back to training.
+
+        ``engine`` selects the no-grad inference path (``"compiled"`` |
+        ``"eager"``), resolving through :mod:`repro.core.engine_config`
+        (kwarg > context > ``REPRO_INFER_ENGINE`` > ``"eager"``).  The
+        compiled path traces once per chunk shape (two specialisations for
+        a dataset whose size is not a batch multiple) and amortises the
+        plan over every batch of the evaluation — and across evaluate()
+        calls, re-tracing only when parameters were actually rebound
+        (CompiledModel's staleness detection); predictions are
+        bit-identical either way.
         """
+        from repro.core.engine_config import resolve_infer_engine
+
+        compiled = None
+        if resolve_infer_engine(engine) == "compiled":
+            if hasattr(self.model, "compiled"):
+                compiled = self.model.compiled()
+            else:
+                from repro.graph.executor import CompiledModel
+
+                if self._compiled_model is None or self._compiled_model.module is not self.model:
+                    self._compiled_model = CompiledModel(self.model)
+                compiled = self._compiled_model
         was_training = self.model.training
         self.model.eval()
         predictions = []
@@ -74,6 +103,9 @@ class Trainer:
             with no_grad():
                 for start in range(0, images.shape[0], batch):
                     chunk = images[start:start + batch]
+                    if compiled is not None:
+                        predictions.append(compiled.predict(chunk))
+                        continue
                     logits = self.model(Tensor(chunk))
                     predictions.append(np.argmax(logits.data, axis=-1))
         finally:

@@ -1,0 +1,10 @@
+"""Serving layer: the micro-batching front-end over compiled inference.
+
+:class:`BatchingServer` fuses concurrent single-image requests into
+padded batches and answers each from one compiled forward — see
+:mod:`repro.serve.engine` and ``examples/serve_demo.py``.
+"""
+
+from repro.serve.engine import BatchingServer, ServerStats
+
+__all__ = ["BatchingServer", "ServerStats"]

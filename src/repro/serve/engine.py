@@ -1,0 +1,236 @@
+"""Micro-batching serving front-end over the compiled inference executor.
+
+:class:`BatchingServer` is the heavy-traffic entry point the ROADMAP's
+north star asks for: many concurrent callers submit single images, a
+background worker drains them into batches, pads each batch up to a fixed
+bucket size, runs **one** compiled forward per batch, and splits the
+result back to per-request futures.
+
+Why each piece exists:
+
+* **Batching** amortises the per-call Python dispatch over many requests —
+  one compiled replay for up to ``max_batch`` images instead of one per
+  image.  The worker collects until ``max_batch`` requests are waiting or
+  ``max_wait_ms`` has elapsed since the batch opened (the classic
+  throughput/latency knob pair).
+* **Bucket padding** rounds every batch up to the next power-of-two size
+  (by repeating the last image) so the compiled executor's
+  shape-specialisation cache sees a handful of signatures instead of one
+  per distinct batch size; padded rows are dropped before responding.
+  Results are per-row independent (every model op is batch-parallel), so
+  padding never changes a real request's prediction — pinned by the
+  serving parity tests.
+* **Shape grouping** keeps correctness for mixed workloads: only requests
+  with identical image shapes are stacked together, so no request is ever
+  resized or spatially padded.
+
+Responses are plain ``concurrent.futures.Future`` objects; exceptions
+raised by a batch propagate to every request in it.  The server is a
+context manager — ``close()`` drains nothing, it stops the worker after
+the queue empties.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, List, Optional, Sequence, Tuple
+
+from repro.backend import xp as np
+
+from repro.core.engine_config import resolve_infer_engine
+from repro.nn.module import Module
+
+_STOP = object()
+
+
+@dataclasses.dataclass
+class ServerStats:
+    """Counters describing the batching behaviour of a server's lifetime."""
+
+    requests: int = 0
+    batches: int = 0
+    padded_rows: int = 0
+    max_batch_size: int = 0
+
+    @property
+    def mean_batch_size(self) -> float:
+        return self.requests / self.batches if self.batches else 0.0
+
+
+def _bucket_size(count: int, max_batch: int) -> int:
+    """The padded batch size: next power of two, capped at ``max_batch``."""
+    size = 1
+    while size < count:
+        size *= 2
+    return min(size, max_batch)
+
+
+class BatchingServer:
+    """Batches concurrent ``submit`` calls into single compiled forwards.
+
+    Parameters
+    ----------
+    model:
+        The segmentation model to serve.  Put it in ``eval()`` mode first
+        if it contains train-only layers; the server does not change modes.
+    max_batch:
+        Largest number of requests fused into one forward (and the padding
+        bucket cap).
+    max_wait_ms:
+        How long an open batch waits for more requests before running
+        under-full.  ``0`` runs whatever a single queue drain finds.
+    engine:
+        Inference engine for the batched forward, resolved through
+        :mod:`repro.core.engine_config` (kwarg > context >
+        ``REPRO_INFER_ENGINE`` > default).  The server exists to feed the
+        ``"compiled"`` executor, but ``"eager"`` is honoured for
+        comparisons — predictions are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        max_batch: int = 8,
+        max_wait_ms: float = 2.0,
+        engine: Optional[str] = None,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1, got %d" % max_batch)
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0, got %r" % (max_wait_ms,))
+        self.model = model
+        self.max_batch = max_batch
+        self.max_wait = max_wait_ms / 1000.0
+        self.engine = resolve_infer_engine(engine)
+        self.stats = ServerStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._lock = threading.Lock()
+        if self.engine == "compiled":
+            from repro.graph.executor import CompiledModel
+
+            self._compiled: Optional["CompiledModel"] = CompiledModel(model)
+        else:
+            self._compiled = None
+        self._worker = threading.Thread(
+            target=self._serve_loop, name="repro-batching-server", daemon=True
+        )
+        self._worker.start()
+
+    # -- client surface --------------------------------------------------------
+
+    def submit(self, image: Any) -> "Future":
+        """Enqueue one image ``(H, W, C)``; resolves to its ``(H, W)`` labels."""
+        # Convert outside the lock: for non-float64 inputs asarray copies,
+        # and serialising that across client threads would bottleneck
+        # submission on single-threaded preprocessing.
+        array = np.asarray(image, dtype=np.float64)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            future: Future = Future()
+            self._queue.put((array, future))
+        return future
+
+    def predict(self, image: Any):
+        """Synchronous convenience wrapper: ``submit(image).result()``."""
+        return self.submit(image).result()
+
+    def predict_many(self, images: Sequence[Any]) -> List[Any]:
+        """Submit a burst of images and wait for all results (in order)."""
+        futures = [self.submit(image) for image in images]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        """Stop the worker after every queued request has been answered."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put(_STOP)
+        self._worker.join()
+
+    def __enter__(self) -> "BatchingServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- worker ----------------------------------------------------------------
+
+    def _collect(self) -> Tuple[List[Tuple[Any, Future]], bool]:
+        """Block for the next request, then drain up to a full batch.
+
+        Returns ``(requests, stop)``; ``stop`` is set when the shutdown
+        sentinel was consumed (after which no request follows it — close()
+        enqueues it last and submit() refuses once closed).
+        """
+        first = self._queue.get()
+        if first is _STOP:
+            return [], True
+        pending = [first]
+        deadline = None
+        while len(pending) < self.max_batch:
+            if self.max_wait <= 0:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+            else:
+                if deadline is None:
+                    deadline = time.monotonic() + self.max_wait
+                    remaining = self.max_wait
+                else:
+                    remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    item = self._queue.get(timeout=remaining)
+                except queue.Empty:
+                    break
+            if item is _STOP:
+                return pending, True
+            pending.append(item)
+        return pending, False
+
+    def _run_batch(self, requests: List[Tuple[Any, Future]]) -> None:
+        # Group by image shape so no request is spatially padded; each
+        # group becomes one stacked forward.
+        groups: dict = {}
+        for image, future in requests:
+            groups.setdefault(image.shape, []).append((image, future))
+        for _, group in sorted(groups.items()):
+            images = [image for image, _ in group]
+            futures = [future for _, future in group]
+            count = len(images)
+            padded_to = _bucket_size(count, self.max_batch)
+            if padded_to > count:
+                images = images + [images[-1]] * (padded_to - count)
+            try:
+                batch = np.stack(images, axis=0)
+                if self._compiled is not None:
+                    predictions = self._compiled.predict(batch)
+                else:
+                    predictions = self.model.predict(batch, engine="eager")
+            except BaseException as error:  # propagate to every caller
+                for future in futures:
+                    future.set_exception(error)
+                continue
+            self.stats.requests += count
+            self.stats.batches += 1
+            self.stats.padded_rows += padded_to - count
+            self.stats.max_batch_size = max(self.stats.max_batch_size, count)
+            for index, future in enumerate(futures):
+                future.set_result(predictions[index])
+
+    def _serve_loop(self) -> None:
+        while True:
+            requests, stop = self._collect()
+            if requests:
+                self._run_batch(requests)
+            if stop:
+                return

@@ -12,12 +12,14 @@ from repro.core import engine_config
 from repro.core.engine_config import (
     ARTIFACT_DIR_ENV,
     GA_ENGINE_ENV,
+    INFER_ENGINE_ENV,
     PWL_ENGINE_ENV,
     SWEEP_WORKERS_ENV,
     EngineConfig,
     current,
     resolve_artifact_dir,
     resolve_ga_engine,
+    resolve_infer_engine,
     resolve_pwl_engine,
     resolve_sweep_workers,
     use,
@@ -31,6 +33,7 @@ class TestDefaults:
         assert config.pwl_engine == "dense"
         assert config.sweep_workers == 0
         assert config.artifact_dir is None
+        assert config.infer_engine == "eager"
 
     def test_invalid_values_rejected(self):
         with pytest.raises(ValueError):
@@ -39,6 +42,17 @@ class TestDefaults:
             EngineConfig(pwl_engine="sparse")
         with pytest.raises(ValueError):
             EngineConfig(sweep_workers=-1)
+        with pytest.raises(ValueError):
+            EngineConfig(infer_engine="jit")
+
+    def test_infer_engine_resolution_order(self, monkeypatch):
+        monkeypatch.setenv(INFER_ENGINE_ENV, "compiled")
+        assert resolve_infer_engine() == "compiled"
+        with use(infer_engine="eager"):
+            assert resolve_infer_engine() == "eager"
+            assert resolve_infer_engine("compiled") == "compiled"
+        with pytest.raises(ValueError):
+            resolve_infer_engine("jit")
 
 
 class TestResolutionOrder:

@@ -1,0 +1,356 @@
+"""Tests for the traced graph IR, optimisation passes and compiled executor.
+
+The load-bearing contract: compiled inference is **bit-identical** to the
+eager forward for every model family and every pwl engine, across the
+capture (tracer), optimize (DCE / constant folding / dense-LUT fusion /
+buffer plan) and execute (CompiledGraph / CompiledModel) layers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import engine_config
+from repro.core.lut import DenseLUT
+from repro.core.pwl import PiecewiseLinear, fit_pwl, uniform_breakpoints
+from repro.functions.registry import get_function
+from repro.graph import (
+    CompiledGraph,
+    CompiledModel,
+    Graph,
+    Node,
+    compile_model,
+    dead_code_elimination,
+    fold_constants,
+    fuse_dense_lookups,
+    optimize,
+    plan_memory,
+    trace,
+)
+from repro.nn.approx import PWLActivation, PWLSuite, PWLWideRange
+from repro.nn.models import MiniEfficientViT, MiniSegformer, ModelConfig
+from repro.nn.module import Module, Parameter
+from repro.nn.tensor import Tensor, no_grad
+from repro.nn.training import Trainer, TrainingConfig, prepare_quantized_model
+from repro.quant.quantizer import QuantSpec
+
+
+def build_approximation(operator: str, num_entries: int = 8) -> PiecewiseLinear:
+    fn = get_function(operator)
+    pwl = fit_pwl(fn.fn, uniform_breakpoints(*fn.search_range, num_entries), fn.search_range)
+    return pwl.to_fixed_point(5)
+
+
+def small_config() -> ModelConfig:
+    return ModelConfig(image_size=16, embed_dim=16, depth=1)
+
+
+def build_pwl_model(model_cls, operators, engine: str):
+    suite = PWLSuite(
+        approximations={op: build_approximation(op) for op in operators},
+        replace=set(operators),
+        engine=engine,
+    )
+    model = model_cls(small_config(), suite=suite)
+    prepare_quantized_model(model)
+    model.eval()
+    return model
+
+
+@pytest.fixture
+def images():
+    return np.random.default_rng(0).normal(size=(2, 16, 16, 3))
+
+
+class TestTracer:
+    def test_captures_ops_constants_and_inputs(self):
+        weight = Tensor(np.arange(6.0).reshape(2, 3))
+
+        def fn(x):
+            return (x @ weight).relu()
+
+        x = np.random.default_rng(1).normal(size=(4, 2))
+        graph = trace(fn, x)
+        assert [node.op for node in graph.nodes] == ["matmul", "relu"]
+        assert len(graph.inputs) == 1
+        assert len(graph.outputs) == 1
+        # The weight entered from outside the placeholder set -> constant.
+        (const,) = graph.constants.values()
+        np.testing.assert_array_equal(const, weight.data)
+
+    def test_detach_aliases_value(self):
+        def fn(x):
+            shifted = x - x.max(axis=-1, keepdims=True).detach()
+            return shifted.exp()
+
+        x = np.random.default_rng(2).normal(size=(3, 4))
+        graph = trace(fn, x)
+        # The max output must flow into the subtraction, not be baked in as
+        # a constant snapshot of the traced batch.
+        ops = [node.op for node in graph.nodes]
+        assert "max" in ops
+        compiled = CompiledGraph(optimize(graph))
+        other = np.random.default_rng(3).normal(size=(3, 4))
+        expected = np.exp(other - other.max(axis=-1, keepdims=True))
+        np.testing.assert_array_equal(compiled.run(other)[0], expected)
+
+    def test_elementwise_name_becomes_label(self):
+        def fn(x):
+            return x.apply_elementwise(np.tanh, lambda d: 1 - np.tanh(d) ** 2,
+                                       name="my-kernel")
+
+        graph = trace(fn, np.zeros((2, 2)))
+        assert graph.nodes[-1].label == "my-kernel"
+        assert "my-kernel" in str(graph)
+
+    def test_tracing_does_not_nest(self):
+        def inner(x):
+            return x + 1.0
+
+        def outer(x):
+            trace(inner, np.zeros(2))
+            return x
+
+        with pytest.raises(RuntimeError, match="does not nest"):
+            trace(outer, np.zeros(2))
+
+    def test_non_tensor_return_rejected(self):
+        with pytest.raises(TypeError):
+            trace(lambda x: x.numpy(), np.zeros(2))
+
+    def test_validate_rejects_undefined_values(self):
+        graph = Graph()
+        vid = graph.new_value()
+        graph.inputs.append(vid)
+        out = graph.new_value()
+        graph.nodes.append(Node(op="add", inputs=(vid, 99), output=out))
+        graph.outputs.append(out)
+        with pytest.raises(ValueError, match="undefined value"):
+            graph.validate()
+
+
+class TestPasses:
+    def test_dead_code_elimination_drops_unused_chain(self):
+        def fn(x):
+            unused = (x * 2.0).exp()  # noqa: F841 -- traced but dead
+            return x + 1.0
+
+        graph = trace(fn, np.zeros((2, 2)))
+        before = [node.op for node in graph.nodes]
+        assert "exp" in before
+        pruned = dead_code_elimination(graph)
+        after = [node.op for node in pruned.nodes]
+        assert "exp" not in after and "mul" not in after
+        # The dead chain's lifted scalar constants disappear with it.
+        assert len(pruned.constants) < len(graph.constants)
+
+    def test_constant_folding_collapses_parameter_subtree(self):
+        class Model(Module):
+            def __init__(self):
+                super().__init__()
+                self.weight = Parameter(np.arange(4.0) + 1.0)
+
+            def forward(self, x):
+                # abs -> log -> exp over parameters only: foldable.
+                return x * self.weight.abs().log().exp()
+
+        model = Model()
+        x = np.full((3, 4), 2.0)
+        graph = trace(model, x)
+        assert len(graph.nodes) == 4  # abs, log, exp, mul
+        folded = dead_code_elimination(fold_constants(graph))
+        assert [node.op for node in folded.nodes] == ["mul"]
+        with no_grad():
+            expected = model(Tensor(x)).data
+        np.testing.assert_array_equal(CompiledGraph(folded).run(x)[0], expected)
+
+    def test_fusion_rewrites_dense_lut_dispatch(self):
+        module = PWLActivation("gelu", build_approximation("gelu"), engine="dense")
+        x = np.random.default_rng(4).normal(size=(5, 7))
+        with no_grad():
+            eager = module(Tensor(x)).data
+        graph = trace(module, x)
+        assert any(node.op == "elementwise_fused" for node in graph.nodes)
+        fused = fuse_dense_lookups(graph)
+        kinds = [node.op for node in fused.nodes]
+        assert "dense_lookup" in kinds and "elementwise_fused" not in kinds
+        (node,) = [n for n in fused.nodes if n.op == "dense_lookup"]
+        assert isinstance(node.params["table"], DenseLUT)
+        assert node.label == "pwl[gelu]"
+        np.testing.assert_array_equal(CompiledGraph(fused).run(x)[0], eager)
+
+    def test_fusion_rewrites_multirange_dispatch(self):
+        module = PWLWideRange("rsqrt", build_approximation("rsqrt"), engine="dense")
+        x = np.abs(np.random.default_rng(5).normal(size=(4, 4))) * 200 + 0.5
+        with no_grad():
+            eager = module(Tensor(x)).data
+        fused = fuse_dense_lookups(trace(module, x))
+        assert any(node.op == "multirange_lookup" for node in fused.nodes)
+        np.testing.assert_array_equal(CompiledGraph(fused).run(x)[0], eager)
+
+    def test_legacy_engine_is_not_fused(self):
+        module = PWLActivation("gelu", build_approximation("gelu"), engine="legacy")
+        x = np.random.default_rng(6).normal(size=(3, 3))
+        with no_grad():
+            module(Tensor(x))
+        fused = fuse_dense_lookups(trace(module, x))
+        assert all(node.op not in ("dense_lookup", "multirange_lookup")
+                   for node in fused.nodes)
+
+
+class TestMemoryPlan:
+    def test_slots_are_reused_after_last_use(self):
+        def fn(x):
+            y = x.exp()
+            z = y.tanh()
+            return z.relu()
+
+        graph = trace(fn, np.zeros((2, 2)))
+        plan = plan_memory(graph)
+        dynamic = plan.num_slots - len(plan.constant_slots)
+        # Four dynamic values (input + three intermediates) share slots: at
+        # most two live at once in a straight chain, so freed slots must be
+        # reused instead of growing the environment.
+        assert plan.peak_live == 2
+        assert dynamic == 2
+
+    def test_outputs_and_constants_never_released(self):
+        weight = Tensor(np.ones((2, 2)))
+
+        def fn(x):
+            return x @ weight
+
+        graph = trace(fn, np.zeros((3, 2)))
+        plan = plan_memory(graph)
+        released = {slot for slots in plan.releases for slot in slots}
+        assert not released & set(plan.constant_slots.values())
+        for vid in graph.outputs:
+            assert plan.slots[vid] not in released
+
+    def test_buffer_reuse_is_safe_for_aliased_views(self):
+        """Releasing a buffer whose views outlive it must not corrupt them.
+
+        ``reshape``/``transpose`` return numpy views sharing the base
+        buffer; the plan releases the base's slot after its last *graph*
+        use while the views are still pending.  Refcounting must keep the
+        storage alive, so compiled outputs stay bit-identical.
+        """
+
+        def fn(x):
+            base = x * 3.0
+            view_a = base.reshape(4, 2)        # view of base
+            view_b = base.transpose(1, 0)      # second view of base
+            # base's slot is released here (last direct use), while both
+            # views flow on to later nodes and the output.
+            return view_a.reshape(2, 4) + view_b.transpose(1, 0)
+
+        x = np.random.default_rng(7).normal(size=(2, 4))
+        graph = optimize(trace(fn, x))
+        plan = plan_memory(graph)
+        assert any(plan.releases)  # the plan does release something
+        with no_grad():
+            expected = fn(Tensor(x)).data
+        np.testing.assert_array_equal(CompiledGraph(graph).run(x)[0], expected)
+
+
+class TestCompiledModel:
+    @pytest.mark.parametrize("model_cls,operators", [
+        (MiniSegformer, ("exp", "gelu", "div", "rsqrt")),
+        (MiniEfficientViT, ("hswish", "div")),
+    ])
+    @pytest.mark.parametrize("pwl_engine", ["dense", "legacy"])
+    def test_compiled_bit_identical_to_eager(self, model_cls, operators,
+                                             pwl_engine, images):
+        model = build_pwl_model(model_cls, operators, pwl_engine)
+        eager = model.predict(images, engine="eager")
+        compiled = model.predict(images, engine="compiled")
+        np.testing.assert_array_equal(compiled, eager)
+
+    def test_float_model_compiled_parity(self, images):
+        model = MiniSegformer(small_config())
+        np.testing.assert_array_equal(
+            model.predict(images, engine="compiled"),
+            model.predict(images, engine="eager"),
+        )
+
+    def test_shape_specialisation_cache(self, images):
+        model = MiniSegformer(small_config())
+        compiled = compile_model(model)
+        compiled.predict(images)
+        compiled.predict(images)
+        assert compiled.compile_count == 1
+        compiled.predict(images[:1])
+        assert compiled.compile_count == 2
+        assert compiled.specializations == 2
+
+    def test_parameter_rebinding_invalidates_cache(self, images):
+        model = MiniSegformer(small_config())
+        compiled = compile_model(model)
+        stale = compiled.predict(images)
+        # Mimic an optimiser step: rebind every parameter's data.
+        for param in model.parameters():
+            param.data = param.data + 0.05
+        fresh = compiled.predict(images)
+        assert compiled.compile_count == 2
+        np.testing.assert_array_equal(fresh, model.predict(images, engine="eager"))
+        assert not np.array_equal(stale, fresh)  # weights actually moved
+
+    def test_engine_config_context_selects_compiled(self, images):
+        model = MiniSegformer(small_config())
+        eager = model.predict(images)  # default engine
+        with engine_config.use(infer_engine="compiled"):
+            compiled = model.predict(images)
+        assert model._compiled_model is not None
+        assert model._compiled_model.compile_count == 1
+        np.testing.assert_array_equal(compiled, eager)
+
+    def test_trainer_evaluate_compiled_parity(self):
+        rng = np.random.default_rng(11)
+        images = rng.normal(size=(10, 16, 16, 3))
+        labels = rng.integers(0, 5, size=(10, 16, 16))
+        model = build_pwl_model(MiniSegformer, ("exp", "gelu", "div", "rsqrt"), "dense")
+        trainer = Trainer(model, TrainingConfig(batch_size=4))
+        eager = trainer.evaluate(images, labels, 5, engine="eager")
+        compiled = trainer.evaluate(images, labels, 5, engine="compiled")
+        assert eager == compiled
+
+    def test_batch_size_invariant_predictions(self, images):
+        """Serving precondition: row k of a batch equals a solo forward."""
+        model = build_pwl_model(MiniSegformer, ("exp", "gelu", "div", "rsqrt"), "dense")
+        batched = model.predict(images, engine="compiled")
+        for index in range(images.shape[0]):
+            solo = model.predict(images[index:index + 1], engine="compiled")
+            np.testing.assert_array_equal(solo[0], batched[index])
+
+    def test_wrong_input_arity_raises(self, images):
+        model = MiniSegformer(small_config())
+        compiled_graph = CompiledGraph(optimize(trace(model, images)))
+        with pytest.raises(ValueError, match="expects 1 input"):
+            compiled_graph.run(images, images)
+
+
+class TestNNLUTInferEngine:
+    def test_compiled_infer_engine_forces_dense_table(self):
+        from repro.baselines.nn_lut import NNLUT, NNLUTTrainingConfig
+        from repro.core.lut import QuantizedLUT
+
+        nn_lut = NNLUT(
+            get_function("gelu"),
+            config=NNLUTTrainingConfig(num_samples=2000, iterations=50),
+        )
+        legacy = nn_lut.deploy(scale=2.0 ** -4, engine="legacy")
+        assert isinstance(legacy, QuantizedLUT)
+        # Unspecified pwl engine + compiled serving -> dense table, even
+        # when the ambient pwl engine would resolve to legacy.
+        with engine_config.use(pwl_engine="legacy"):
+            compiled = nn_lut.deploy(scale=2.0 ** -4, infer_engine="compiled")
+        assert isinstance(compiled, DenseLUT)
+        # An explicit engine kwarg always wins over the infer engine.
+        explicit = nn_lut.deploy(
+            scale=2.0 ** -4, engine="legacy", infer_engine="compiled"
+        )
+        assert isinstance(explicit, QuantizedLUT)
+        codes = np.arange(QuantSpec(bits=8, signed=True).qmin,
+                          QuantSpec(bits=8, signed=True).qmax + 1)
+        np.testing.assert_array_equal(
+            compiled.lookup_codes(codes), legacy.lookup_dequantized(codes)
+        )

@@ -54,6 +54,57 @@ class TestModuleSystem:
         with pytest.raises((ValueError, KeyError)):
             b.load_state_dict(a.state_dict())
 
+    def test_state_dict_roundtrip_preserves_dtype_without_aliasing(self):
+        a = Linear(3, 4, rng=np.random.default_rng(0))
+        state = a.state_dict()
+        for value in state.values():
+            assert value.dtype == np.float64
+        b = Linear(3, 4, rng=np.random.default_rng(1))
+        b.load_state_dict(state)
+        for name, param in b.named_parameters():
+            assert param.data.dtype == np.float64
+            # Loaded arrays are copies: mutating the source dict afterwards
+            # must not reach the module (and vice versa).
+            assert param.data is not state[name]
+            assert not np.shares_memory(param.data, state[name])
+        state["weight"][:] = 0.0
+        np.testing.assert_allclose(b.weight.data, a.weight.data)
+        # state_dict() itself returns copies of the live parameters.
+        snapshot = b.state_dict()
+        snapshot["bias"][:] = 123.0
+        assert not np.array_equal(b.bias.data, snapshot["bias"])
+
+    def test_load_state_dict_strict_lists_missing_and_unexpected(self):
+        model = Sequential(Linear(2, 3), Linear(3, 2))
+        state = model.state_dict()
+        del state["layer0.bias"]
+        state["layer9.weight"] = np.zeros((2, 2))
+        with pytest.raises(KeyError) as excinfo:
+            model.load_state_dict(state)
+        message = str(excinfo.value)
+        assert "layer0.bias" in message  # missing
+        assert "layer9.weight" in message  # unexpected
+        assert "strict=False" in message
+
+    def test_load_state_dict_non_strict_loads_intersection(self):
+        source = Sequential(Linear(2, 3, rng=np.random.default_rng(2)))
+        target = Sequential(Linear(2, 3, rng=np.random.default_rng(3)))
+        state = source.state_dict()
+        del state["layer0.bias"]  # missing: left at its current value
+        state["extra.weight"] = np.ones(5)  # unexpected: ignored
+        old_bias = target._modules["layer0"].bias.data.copy()
+        target.load_state_dict(state, strict=False)
+        np.testing.assert_array_equal(
+            target._modules["layer0"].weight.data, source._modules["layer0"].weight.data
+        )
+        np.testing.assert_array_equal(target._modules["layer0"].bias.data, old_bias)
+
+    def test_load_state_dict_non_strict_still_checks_shapes(self):
+        model = Linear(2, 3)
+        state = {"weight": np.zeros((9, 9))}
+        with pytest.raises(ValueError, match="shape mismatch"):
+            model.load_state_dict(state, strict=False)
+
     def test_train_eval_propagates(self):
         seq = Sequential(Linear(2, 2), Dropout(0.5))
         seq.eval()
