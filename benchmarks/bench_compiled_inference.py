@@ -154,7 +154,7 @@ def bench_serving(model_cls, operators, model_config, num_requests: int,
         start = time.perf_counter()
         served = server.predict_many(images)
         served_seconds = time.perf_counter() - start
-        stats = server.stats
+        stats = server.stats()
 
     identical = all(np.array_equal(a, b) for a, b in zip(eager, served))
     if not identical:

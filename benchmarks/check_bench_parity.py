@@ -51,6 +51,12 @@ EXACT_KEYS = (
     ("efficientvit_predict", "identical_results"),
     ("efficientvit_predict", "predictions_sha256"),
     ("serving", "identical_results"),
+    # Serving benchmark (bench_serving.py): bit-parity at low rate and
+    # under injected-fault eager degradation, and the admission queue
+    # staying bounded under an overload burst.
+    ("load", "identical_results"),
+    ("degradation", "identical_results"),
+    ("shedding", "bounded"),
 )
 
 # (section, key) fast-path timings gated by the noise tolerance.
@@ -62,6 +68,9 @@ TIMING_KEYS = (
     ("model_finetune", "dense_seconds"),
     ("segformer_predict", "compiled_seconds"),
     ("efficientvit_predict", "compiled_seconds"),
+    # Uncontended serving latency (bench_serving.py's lowest load level).
+    ("latency", "p50_seconds"),
+    ("latency", "p99_seconds"),
 )
 
 

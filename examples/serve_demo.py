@@ -58,13 +58,17 @@ def main() -> None:
     eager = [model.predict(image[None], engine="eager")[0] for image in images]
     eager_seconds = time.perf_counter() - start
 
-    # 3. Concurrent traffic against the micro-batching compiled server.
-    with BatchingServer(model, max_batch=16, max_wait_ms=2.0, engine="compiled") as server:
+    # 3. Concurrent traffic against the micro-batching compiled server,
+    #    production-shaped: bounded admission queue + per-request deadline
+    #    (a deadline-bounded predict fails fast instead of waiting forever)
+    #    and a caller-side timeout so a wedged batch cannot hang a client.
+    with BatchingServer(model, max_batch=16, max_wait_ms=2.0, engine="compiled",
+                        max_queue=256, deadline_ms=5000.0) as server:
         results = [None] * len(images)
 
         def client(worker: int, step: int) -> None:
             for index in range(worker, len(images), step):
-                results[index] = server.predict(images[index])
+                results[index] = server.predict(images[index], timeout=30.0)
 
         threads = [threading.Thread(target=client, args=(w, 4)) for w in range(4)]
         start = time.perf_counter()
@@ -73,7 +77,8 @@ def main() -> None:
         for thread in threads:
             thread.join()
         served_seconds = time.perf_counter() - start
-        stats = server.stats
+        stats = server.stats()
+        health = server.health()
 
     identical = all(np.array_equal(a, b) for a, b in zip(results, eager))
     print("requests          : %d (4 client threads)" % len(images))
@@ -83,6 +88,12 @@ def main() -> None:
     print("compiled batched  : %6.1f req/s (%.1fx)"
           % (len(images) / served_seconds, eager_seconds / served_seconds))
     print("bit-identical     :", identical)
+    # 4. The health() report is endpoint-shaped: what /healthz would serve.
+    print("health            : status=%s shed=%d expired=%d fallbacks=%d "
+          "p50=%.1fms p99=%.1fms"
+          % (health["status"], health["counters"]["shed"],
+             health["counters"]["expired"], health["counters"]["fallbacks"],
+             health["latency_ms"]["p50_ms"], health["latency_ms"]["p99_ms"]))
 
 
 if __name__ == "__main__":

@@ -60,6 +60,10 @@ PWL_ENGINE_ENV = "REPRO_PWL_ENGINE"
 SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
+RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
+RETRY_BASE_DELAY_ENV = "REPRO_RETRY_BASE_DELAY"
+SERVE_QUEUE_LIMIT_ENV = "REPRO_SERVE_QUEUE_LIMIT"
+SERVE_DEADLINE_MS_ENV = "REPRO_SERVE_DEADLINE_MS"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -71,6 +75,14 @@ class EngineConfig:
     sweep_workers: int = 0
     artifact_dir: Optional[str] = None
     infer_engine: str = "eager"
+    # Reliability knobs (PR 6): sweep/store retry defaults and the serving
+    # tier's admission-control defaults.  ``retry_attempts`` counts total
+    # attempts (1 = no retry); ``serve_queue_limit`` 0 means unbounded;
+    # ``serve_deadline_ms`` 0 means no default per-request deadline.
+    retry_attempts: int = 3
+    retry_base_delay: float = 0.05
+    serve_queue_limit: int = 0
+    serve_deadline_ms: float = 0.0
 
     def __post_init__(self) -> None:
         check_ga_engine(self.ga_engine)
@@ -78,6 +90,20 @@ class EngineConfig:
         check_infer_engine(self.infer_engine)
         if self.sweep_workers < 0:
             raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
+        if self.retry_attempts < 1:
+            raise ValueError("retry_attempts must be >= 1, got %r" % (self.retry_attempts,))
+        if self.retry_base_delay < 0:
+            raise ValueError(
+                "retry_base_delay must be >= 0, got %r" % (self.retry_base_delay,)
+            )
+        if self.serve_queue_limit < 0:
+            raise ValueError(
+                "serve_queue_limit must be >= 0, got %r" % (self.serve_queue_limit,)
+            )
+        if self.serve_deadline_ms < 0:
+            raise ValueError(
+                "serve_deadline_ms must be >= 0, got %r" % (self.serve_deadline_ms,)
+            )
 
 
 def check_ga_engine(engine: str) -> str:
@@ -135,6 +161,20 @@ def _env_layer() -> Dict[str, Any]:
     infer = os.environ.get(INFER_ENGINE_ENV)
     if infer:
         layer["infer_engine"] = infer
+    for env, field, convert in (
+        (RETRY_ATTEMPTS_ENV, "retry_attempts", int),
+        (RETRY_BASE_DELAY_ENV, "retry_base_delay", float),
+        (SERVE_QUEUE_LIMIT_ENV, "serve_queue_limit", int),
+        (SERVE_DEADLINE_MS_ENV, "serve_deadline_ms", float),
+    ):
+        raw = os.environ.get(env)
+        if raw:
+            try:
+                layer[field] = convert(raw.strip())
+            except ValueError:
+                raise ValueError(
+                    "%s must be a %s, got %r" % (env, convert.__name__, raw)
+                ) from None
     return layer
 
 
@@ -213,3 +253,39 @@ def resolve_infer_engine(override: Optional[str] = None) -> str:
     if override is not None:
         return check_infer_engine(override)
     return current().infer_engine
+
+
+def resolve_retry_attempts(override: Optional[int] = None) -> int:
+    """Total retry attempts: kwarg > context > env > ``3``."""
+    if override is not None:
+        if override < 1:
+            raise ValueError("retry attempts must be >= 1, got %r" % (override,))
+        return int(override)
+    return current().retry_attempts
+
+
+def resolve_retry_base_delay(override: Optional[float] = None) -> float:
+    """Retry backoff base (seconds): kwarg > context > env > ``0.05``."""
+    if override is not None:
+        if override < 0:
+            raise ValueError("retry base delay must be >= 0, got %r" % (override,))
+        return float(override)
+    return current().retry_base_delay
+
+
+def resolve_serve_queue_limit(override: Optional[int] = None) -> int:
+    """Serving admission-queue bound: kwarg > context > env > ``0`` (unbounded)."""
+    if override is not None:
+        if override < 0:
+            raise ValueError("queue limit must be >= 0, got %r" % (override,))
+        return int(override)
+    return current().serve_queue_limit
+
+
+def resolve_serve_deadline_ms(override: Optional[float] = None) -> float:
+    """Default per-request deadline (ms): kwarg > context > env > ``0`` (none)."""
+    if override is not None:
+        if override < 0:
+            raise ValueError("deadline must be >= 0, got %r" % (override,))
+        return float(override)
+    return current().serve_deadline_ms

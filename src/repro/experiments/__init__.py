@@ -24,7 +24,9 @@ from repro.experiments.methods import (
 from repro.experiments.artifacts import ArtifactCache, ArtifactStore
 from repro.experiments.jobs import (
     ApproximationJob,
+    JobFailure,
     SweepEngine,
+    SweepResult,
     SweepStats,
     approximation_jobs,
     default_engine,
@@ -58,7 +60,9 @@ __all__ = [
     "ApproximationJob",
     "ArtifactCache",
     "ArtifactStore",
+    "JobFailure",
     "SweepEngine",
+    "SweepResult",
     "SweepStats",
     "approximation_jobs",
     "build_approximation",

@@ -16,23 +16,54 @@ by a stable content hash of the job description (see
 
 The disk store is deliberately forgiving: a missing, truncated or otherwise
 unreadable artifact is treated as a miss and the cell is recomputed (and the
-artifact rewritten), never raised to the caller.
+artifact rewritten), never raised to the caller.  Reads are hardened
+against torn/corrupt files from concurrent writers: every artifact embeds
+a SHA-256 content checksum which is verified on load (a file that unzips
+but carries perturbed bytes is still a miss, counted in
+``corrupt_reads``), and writes stay atomic (temp file + ``os.replace``)
+so a reader racing a writer only ever sees a complete old or new file.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import struct
 import tempfile
 import zipfile
+import zlib
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 import numpy as np
 
 from repro.core.pwl import PiecewiseLinear
+from repro.reliability.faults import corrupt_file, fault_point
 
 # Array names stored per artifact; everything else about a pwl is derived.
 _ARRAY_FIELDS = ("breakpoints", "slopes", "intercepts")
+
+# Exceptions a torn/corrupt/foreign artifact file can raise on read.
+_READ_ERRORS = (
+    OSError,
+    ValueError,
+    KeyError,
+    zipfile.BadZipFile,
+    EOFError,
+    zlib.error,
+    struct.error,
+)
+
+
+def _content_digest(arrays: Dict[str, np.ndarray]) -> bytes:
+    """SHA-256 over shapes + bytes of the pwl arrays, field order fixed."""
+    digest = hashlib.sha256()
+    for field in _ARRAY_FIELDS:
+        array = np.ascontiguousarray(arrays[field], dtype=np.float64)
+        digest.update(field.encode("ascii"))
+        digest.update(repr(array.shape).encode("ascii"))
+        digest.update(array.tobytes())
+    return digest.digest()
 
 
 class ArtifactStore:
@@ -49,6 +80,10 @@ class ArtifactStore:
     def __init__(self, directory: Union[str, Path]) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        # Reads that unzipped but failed checksum/shape validation — i.e.
+        # actual corruption survived to the content layer, not just a
+        # missing file.  Exposed for health reporting and the chaos tests.
+        self.corrupt_reads = 0
 
     def path_for(self, key: str) -> Path:
         """The artifact file backing ``key``."""
@@ -59,29 +94,46 @@ class ArtifactStore:
         path = self.path_for(key)
         if not path.exists():
             return None
+        fault_point("artifact.load")
         try:
-            with np.load(path) as data:
+            with np.load(path, allow_pickle=False) as data:
                 arrays = {field: np.asarray(data[field]) for field in _ARRAY_FIELDS}
+                checksum = (
+                    np.asarray(data["checksum"]).tobytes()
+                    if "checksum" in data.files
+                    else None
+                )
+            if checksum is not None and checksum != _content_digest(arrays):
+                self.corrupt_reads += 1
+                return None
             return PiecewiseLinear(**arrays)
-        except (OSError, ValueError, KeyError, zipfile.BadZipFile, EOFError):
+        except _READ_ERRORS:
             # Corrupted or foreign file: treat as a miss so the engine
-            # recomputes the cell and rewrites a valid artifact.
+            # recomputes the cell and rewrites a valid artifact.  A torn
+            # write can never be observed here — writes go through a temp
+            # file + atomic ``os.replace`` — so this path means a crashed
+            # foreign writer or actual on-disk corruption.
             return None
 
     def save(self, key: str, pwl: PiecewiseLinear) -> Path:
         """Write an artifact atomically (write-to-temp + rename)."""
+        fault_point("artifact.save")
         path = self.path_for(key)
         fd, tmp_name = tempfile.mkstemp(
             prefix=".%s-" % key[:16], suffix=".npz.tmp", dir=str(self.directory)
         )
         try:
+            arrays = {
+                "breakpoints": pwl.breakpoints,
+                "slopes": pwl.slopes,
+                "intercepts": pwl.intercepts,
+            }
+            checksum = np.frombuffer(_content_digest(arrays), dtype=np.uint8)
             with os.fdopen(fd, "wb") as handle:
-                np.savez(
-                    handle,
-                    breakpoints=pwl.breakpoints,
-                    slopes=pwl.slopes,
-                    intercepts=pwl.intercepts,
-                )
+                np.savez(handle, checksum=checksum, **arrays)
+            # Chaos hook: models a torn write that still got renamed into
+            # place (worst-case foreign writer) — readers must fall back.
+            corrupt_file("artifact.save", tmp_name)
             os.replace(tmp_name, path)
         except BaseException:
             try:

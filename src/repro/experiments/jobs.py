@@ -29,13 +29,17 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-from concurrent.futures import ProcessPoolExecutor
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.core import engine_config
 from repro.core.pwl import PiecewiseLinear
 from repro.experiments.artifacts import ArtifactCache, ArtifactStore
 from repro.experiments.methods import ApproximationBudget, compute_approximation
+from repro.reliability.errors import JobQuarantinedError
+from repro.reliability.faults import fault_point
+from repro.reliability.retry import RetryPolicy, run_with_retry
 
 # Bump when the artifact layout or the build semantics change incompatibly;
 # part of every cache key, so stale on-disk artifacts can never be returned.
@@ -85,9 +89,15 @@ class ApproximationJob:
         )
 
 
+def _job_site(job: ApproximationJob) -> str:
+    """The fault-injection / retry-jitter site name for one cell."""
+    return "sweep.build:%s:%s" % (job.operator, job.method)
+
+
 def _execute_job(item: Tuple[str, ApproximationJob]) -> Tuple[str, PiecewiseLinear]:
     """Worker entry point: build one keyed job (picklable, module level)."""
     key, job = item
+    fault_point(_job_site(job))
     return key, job.build()
 
 
@@ -105,6 +115,13 @@ class SweepStats:
     memory_hits: int = 0
     disk_hits: int = 0
     builds: int = 0
+    # Reliability accounting (PR 6): ``retries`` counts extra attempts
+    # after a failure, ``redispatches`` duplicate submissions after a
+    # straggler timeout, ``failures`` cells that exhausted their policy
+    # (including quarantine fast-fails on later runs).
+    retries: int = 0
+    redispatches: int = 0
+    failures: int = 0
 
     @property
     def cache_hits(self) -> int:
@@ -113,6 +130,48 @@ class SweepStats:
     def add(self, other: "SweepStats") -> None:
         for field in dataclasses.fields(self):
             setattr(self, field.name, getattr(self, field.name) + getattr(other, field.name))
+
+
+@dataclasses.dataclass
+class JobFailure:
+    """One quarantined cell: which job, what it raised, how hard we tried."""
+
+    key: str
+    job: ApproximationJob
+    error: BaseException
+    attempts: int
+
+    @property
+    def error_type(self) -> str:
+        return type(self.error).__name__
+
+    def describe(self) -> str:
+        return "%s:%s (%s after %d attempt(s): %s)" % (
+            self.job.operator, self.job.method, self.error_type, self.attempts, self.error
+        )
+
+
+@dataclasses.dataclass
+class SweepResult:
+    """Manifest of one fault-tolerant sweep: built cells plus failures.
+
+    A failing cell no longer aborts the batch — it is reported here while
+    every healthy cell still completes with cache-parity artifacts.
+    """
+
+    results: Dict[str, PiecewiseLinear]
+    failures: Dict[str, JobFailure]
+    stats: SweepStats
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def require(self) -> Dict[str, PiecewiseLinear]:
+        """The all-or-nothing view: raise the first failure if any."""
+        if self.failures:
+            raise next(iter(self.failures.values())).error
+        return self.results
 
 
 class SweepEngine:
@@ -129,39 +188,105 @@ class SweepEngine:
         cell owns an explicit seed, so the two paths are bit-identical.
         ``None`` re-resolves through :mod:`repro.core.engine_config`
         (context > ``REPRO_SWEEP_WORKERS`` > ``0``) on every :meth:`run`.
+    retry:
+        Default :class:`~repro.reliability.retry.RetryPolicy` for failing
+        cells.  ``None`` resolves through the engine config
+        (``REPRO_RETRY_ATTEMPTS`` / ``REPRO_RETRY_BASE_DELAY``).  Retries
+        never change results — every cell is seeded and side-effect free,
+        so attempt N is bit-identical to attempt 1.
+    straggler_timeout:
+        Seconds the pool path waits without *any* completion before
+        re-dispatching every unresolved cell to another worker (first
+        copy to finish wins; copies are bit-identical).  ``None``
+        disables straggler handling.
+
+    Cells whose retry budget is exhausted are **quarantined** on the
+    engine: their :class:`JobFailure` is reported in the
+    :class:`SweepResult` manifest and later runs fail them fast (as a
+    :class:`~repro.reliability.errors.JobQuarantinedError`) instead of
+    re-poisoning a worker.  :meth:`clear_quarantine` lifts the embargo.
     """
 
     def __init__(
-        self, cache: Optional[ArtifactCache] = None, workers: Optional[int] = None
+        self,
+        cache: Optional[ArtifactCache] = None,
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        straggler_timeout: Optional[float] = None,
     ) -> None:
         self.cache = cache if cache is not None else ArtifactCache()
         self.workers = workers
+        self.retry = retry
+        self.straggler_timeout = straggler_timeout
         self.stats = SweepStats()
         self.last_run = SweepStats()
+        self.quarantine: Dict[str, JobFailure] = {}
+
+    def clear_quarantine(self) -> None:
+        """Forget every poisoned key (they become eligible to run again)."""
+        self.quarantine.clear()
 
     def run(
         self,
         jobs: Iterable[ApproximationJob],
         workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        straggler_timeout: Optional[float] = None,
     ) -> Dict[str, PiecewiseLinear]:
         """Execute ``jobs`` and return ``{job.key: PiecewiseLinear}``.
 
         Duplicate jobs are built once; cached cells are never rebuilt.  The
         result covers every distinct key in ``jobs`` (duplicates collapse
-        onto the same entry).
+        onto the same entry).  This is the all-or-nothing surface the
+        experiment runners need: a cell that still fails after retries
+        raises.  Use :meth:`run_manifest` for the fault-tolerant view.
+        """
+        return self.run_manifest(
+            jobs, workers=workers, retry=retry, straggler_timeout=straggler_timeout
+        ).require()
+
+    def run_manifest(
+        self,
+        jobs: Iterable[ApproximationJob],
+        workers: Optional[int] = None,
+        retry: Optional[RetryPolicy] = None,
+        straggler_timeout: Optional[float] = None,
+    ) -> SweepResult:
+        """Fault-tolerant execution: failures land in the manifest.
+
+        Every healthy cell completes (retried under the policy, straggler
+        re-dispatched on the pool path); each poisoned cell is reported as
+        a :class:`JobFailure` and quarantined instead of aborting the
+        batch.
         """
         if workers is None:
             workers = engine_config.resolve_sweep_workers(self.workers)
+        policy = RetryPolicy.resolve(retry if retry is not None else self.retry)
+        if straggler_timeout is None:
+            straggler_timeout = self.straggler_timeout
         run_stats = SweepStats()
         memory_hits_before = self.cache.memory_hits
         disk_hits_before = self.cache.disk_hits
         results: Dict[str, PiecewiseLinear] = {}
+        failures: Dict[str, JobFailure] = {}
         missing: Dict[str, ApproximationJob] = {}
         for job in jobs:
             run_stats.requested += 1
             key = job.key
-            if key in results or key in missing:
+            if key in results or key in missing or key in failures:
                 run_stats.deduped += 1
+                continue
+            if key in self.quarantine:
+                # Fail fast: this key poisoned an earlier run.  Re-wrap so
+                # the manifest names the quarantine, keeping the original
+                # error as the cause.
+                previous = self.quarantine[key]
+                error = JobQuarantinedError(
+                    "job %s is quarantined: %s" % (key[:16], previous.describe())
+                )
+                error.__cause__ = previous.error
+                failures[key] = JobFailure(key, job, error, previous.attempts)
+                run_stats.failures += 1
                 continue
             hit = self.cache.load(key)
             if hit is not None:
@@ -173,19 +298,145 @@ class SweepEngine:
         run_stats.disk_hits = self.cache.disk_hits - disk_hits_before
 
         if missing:
-            run_stats.builds = len(missing)
             if workers and workers > 1 and len(missing) > 1:
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    built = list(pool.map(_execute_job, missing.items()))
+                built = self._run_pool(
+                    missing, workers, policy, straggler_timeout, run_stats, failures
+                )
             else:
-                built = [_execute_job(item) for item in missing.items()]
+                built = self._run_serial(missing, policy, run_stats, failures)
             for key, pwl in built:
                 self.cache.put(key, pwl)
                 results[key] = pwl
+                run_stats.builds += 1
 
         self.last_run = run_stats
         self.stats.add(run_stats)
-        return results
+        return SweepResult(results=results, failures=failures, stats=run_stats)
+
+    def _quarantine(
+        self,
+        failures: Dict[str, JobFailure],
+        run_stats: SweepStats,
+        key: str,
+        job: ApproximationJob,
+        error: BaseException,
+        attempts: int,
+    ) -> None:
+        record = JobFailure(key=key, job=job, error=error, attempts=attempts)
+        failures[key] = record
+        self.quarantine[key] = record
+        run_stats.failures += 1
+
+    def _run_serial(
+        self,
+        missing: Dict[str, ApproximationJob],
+        policy: RetryPolicy,
+        run_stats: SweepStats,
+        failures: Dict[str, JobFailure],
+    ) -> List[Tuple[str, PiecewiseLinear]]:
+        built: List[Tuple[str, PiecewiseLinear]] = []
+        for key, job in missing.items():
+            outcome = run_with_retry(
+                lambda item=(key, job): _execute_job(item)[1],
+                policy=policy,
+                site=_job_site(job),
+            )
+            run_stats.retries += outcome.retries
+            if outcome.ok:
+                built.append((key, outcome.value))
+            else:
+                self._quarantine(failures, run_stats, key, job, outcome.error, outcome.attempts)
+        return built
+
+    def _run_pool(
+        self,
+        missing: Dict[str, ApproximationJob],
+        workers: int,
+        policy: RetryPolicy,
+        straggler_timeout: Optional[float],
+        run_stats: SweepStats,
+        failures: Dict[str, JobFailure],
+    ) -> List[Tuple[str, PiecewiseLinear]]:
+        """Fan ``missing`` over a process pool with retry + re-dispatch.
+
+        Each cell has a dispatch budget of ``policy.max_attempts`` shared
+        between failure retries and straggler duplicates.  When a wait
+        window (``straggler_timeout``) passes with no completion at all,
+        every unresolved cell with budget left is duplicated onto another
+        worker — results are seeded, so whichever copy finishes first is
+        the answer and late copies are ignored.  A cell whose budget is
+        exhausted *and* whose in-flight copies outlive one further grace
+        window is abandoned as a straggler failure; the pool is then shut
+        down without waiting so a wedged worker cannot hang the sweep.
+        """
+        built: List[Tuple[str, PiecewiseLinear]] = []
+        unresolved = dict(missing)
+        dispatched: Dict[str, int] = {}
+        grace_strikes: Dict[str, int] = {}
+        inflight: Dict[object, str] = {}
+        abandoned = False
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            for key, job in missing.items():
+                inflight[pool.submit(_execute_job, (key, job))] = key
+                dispatched[key] = 1
+            while unresolved and inflight:
+                done, _ = wait(
+                    set(inflight), timeout=straggler_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Straggler window expired with zero progress: duplicate
+                    # what budget allows, strike out what has none left.
+                    for key in list(unresolved):
+                        job = unresolved[key]
+                        if dispatched[key] < policy.max_attempts:
+                            inflight[pool.submit(_execute_job, (key, job))] = key
+                            dispatched[key] += 1
+                            run_stats.redispatches += 1
+                        else:
+                            grace_strikes[key] = grace_strikes.get(key, 0) + 1
+                            if grace_strikes[key] >= 2:
+                                error: BaseException = TimeoutError(
+                                    "cell %s:%s straggled past %d dispatch(es) x %.3gs"
+                                    % (job.operator, job.method, dispatched[key],
+                                       straggler_timeout or 0.0)
+                                )
+                                self._quarantine(
+                                    failures, run_stats, key, job, error, dispatched[key]
+                                )
+                                del unresolved[key]
+                                abandoned = True
+                    continue
+                for future in done:
+                    key = inflight.pop(future)
+                    if key not in unresolved:
+                        continue  # a duplicate already answered (or failed) it
+                    job = unresolved[key]
+                    error = future.exception()
+                    if error is None:
+                        _, pwl = future.result()
+                        built.append((key, pwl))
+                        del unresolved[key]
+                        continue
+                    if (
+                        dispatched[key] < policy.max_attempts
+                        and policy.is_retryable(error)
+                    ):
+                        time.sleep(policy.backoff(dispatched[key], site=_job_site(job)))
+                        inflight[pool.submit(_execute_job, (key, job))] = key
+                        dispatched[key] += 1
+                        run_stats.retries += 1
+                    else:
+                        self._quarantine(
+                            failures, run_stats, key, job, error, dispatched[key]
+                        )
+                        del unresolved[key]
+        finally:
+            # A wedged straggler must not hang the whole sweep on shutdown;
+            # its worker process is reaped at interpreter exit instead.
+            pool.shutdown(wait=not abandoned)
+        return built
 
     def build(self, job: ApproximationJob, workers: Optional[int] = None) -> PiecewiseLinear:
         """Run a single job through the cache and return its artifact."""

@@ -26,9 +26,11 @@ that backend's arrays).
 from __future__ import annotations
 
 import functools
+import warnings
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import xp as np
+from repro.reliability.faults import fault_point
 from repro.graph.ir import Graph
 from repro.graph.passes import (
     DEFAULT_PASSES,
@@ -116,11 +118,31 @@ class CompiledModel:
     steps rebind ``.data``) transparently re-compiles.  In-place array
     mutation (``param.data[:] = ...``) is not detected — nothing in this
     codebase mutates parameters in place.
+
+    With ``fallback=True`` a trace/compile/replay failure degrades to the
+    eager forward instead of failing the call: the eager path is run, and
+    only if it *succeeds* (proving the input was fine and the compiled
+    path itself broke) the call counts as a degradation —
+    ``fallback_count`` increments and a single ``RuntimeWarning`` is
+    emitted.  If eager also fails, the input was genuinely bad and the
+    eager error propagates untouched.  Eager/compiled bit-parity is
+    pinned by the test suite, so a fallback changes latency, never
+    results.  The default stays ``False``: in tests and debugging a
+    broken trace should fail loudly; the serving tier
+    (:class:`repro.serve.engine.BatchingServer`) opts in.
     """
 
-    def __init__(self, module: Module, passes: Sequence[str] = DEFAULT_PASSES) -> None:
+    def __init__(
+        self,
+        module: Module,
+        passes: Sequence[str] = DEFAULT_PASSES,
+        fallback: bool = False,
+    ) -> None:
         self.module = module
         self.passes = tuple(passes)
+        self.fallback = fallback
+        self.fallback_count = 0
+        self._fallback_warned = False
         self._cache: Dict[Tuple[Tuple[Tuple[int, ...], str], ...], CompiledGraph] = {}
         self._param_snapshot: List[Tuple[Any, Any]] = []
         self.compile_count = 0
@@ -157,6 +179,7 @@ class CompiledModel:
         signature = self._signature(arrays)
         compiled = self._cache.get(signature)
         if compiled is None:
+            fault_point("compiled.trace")
             captured = trace(self.module, *arrays)
             compiled = CompiledGraph(optimize(captured, self.passes))
             self._cache[signature] = compiled
@@ -169,10 +192,49 @@ class CompiledModel:
 
     # -- inference surface -----------------------------------------------------
 
+    def _eager_forward(self, arrays: Sequence[Any]):
+        """The exact eager computation the compiled path replays."""
+        from repro.nn.tensor import Tensor, no_grad
+
+        with no_grad():
+            outputs = self.module(*[Tensor(array) for array in arrays])
+        if isinstance(outputs, tuple):
+            return tuple(output.data for output in outputs)
+        return outputs.data
+
+    def _degrade(self, arrays: Sequence[Any], error: BaseException):
+        """Answer ``arrays`` eagerly after a compiled-path failure.
+
+        Runs the eager forward *first*: if it raises too, the request was
+        bad (wrong shape, non-divisible image) and that genuine error
+        propagates; only an eager success counts as a degradation.
+        """
+        result = self._eager_forward(arrays)
+        self.fallback_count += 1
+        if not self._fallback_warned:
+            self._fallback_warned = True
+            warnings.warn(
+                "compiled inference failed (%s: %s); degraded to the eager path "
+                "— results are bit-identical, latency is not"
+                % (type(error).__name__, error),
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        return result
+
     def __call__(self, *inputs: Any):
         """Run the compiled forward; returns the raw output array(s)."""
         arrays = [np.asarray(value, dtype=np.float64) for value in inputs]
-        outputs = self.graph_for(*arrays).run(*arrays)
+        try:
+            compiled = self.graph_for(*arrays)
+            fault_point("compiled.replay")
+            outputs = compiled.run(*arrays)
+        except Exception as error:
+            if not self.fallback:
+                raise
+            outputs = self._degrade(arrays, error)
+            if not isinstance(outputs, tuple):
+                return outputs
         return outputs[0] if len(outputs) == 1 else tuple(outputs)
 
     def predict(self, images: Any):
@@ -180,6 +242,10 @@ class CompiledModel:
         return np.argmax(self(images), axis=-1)
 
 
-def compile_model(module: Module, passes: Sequence[str] = DEFAULT_PASSES) -> CompiledModel:
+def compile_model(
+    module: Module,
+    passes: Sequence[str] = DEFAULT_PASSES,
+    fallback: bool = False,
+) -> CompiledModel:
     """Wrap ``module`` for compiled inference (lazy per-signature tracing)."""
-    return CompiledModel(module, passes=passes)
+    return CompiledModel(module, passes=passes, fallback=fallback)

@@ -1,0 +1,37 @@
+"""Exception inventory for the reliability layer.
+
+Every error a caller can *handle* (shed load, retry elsewhere, report a
+cell as failed) gets its own class here, so handlers never have to match
+on message strings.  ``DeadlineExceededError`` additionally subclasses
+:class:`TimeoutError` so generic timeout handlers catch it for free.
+"""
+
+from __future__ import annotations
+
+
+class ReliabilityError(RuntimeError):
+    """Base class for every error raised by the reliability layer."""
+
+
+class QueueFullError(ReliabilityError):
+    """Admission rejected: the server's bounded queue is at capacity.
+
+    Raised by ``BatchingServer.submit`` *before* the request is enqueued
+    — load is shed at the door instead of growing the queue unboundedly.
+    """
+
+
+class DeadlineExceededError(ReliabilityError, TimeoutError):
+    """A request's deadline expired before it reached batch assembly."""
+
+
+class ServerClosedError(ReliabilityError):
+    """A request was stranded in the queue when the server shut down."""
+
+
+class InjectedFault(ReliabilityError):
+    """The default exception raised by :func:`repro.reliability.faults.fault_point`."""
+
+
+class JobQuarantinedError(ReliabilityError):
+    """A sweep job was refused because its key is quarantined as poison."""

@@ -1,10 +1,21 @@
 """Serving layer: the micro-batching front-end over compiled inference.
 
 :class:`BatchingServer` fuses concurrent single-image requests into
-padded batches and answers each from one compiled forward — see
-:mod:`repro.serve.engine` and ``examples/serve_demo.py``.
+padded batches and answers each from one compiled forward, with a
+bounded admission queue (:class:`~repro.reliability.errors.QueueFullError`
+sheds overload), per-request deadlines
+(:class:`~repro.reliability.errors.DeadlineExceededError`), eager
+degradation on compiled failures, and a ``health()`` report with latency
+histograms — see :mod:`repro.serve.engine` and ``examples/serve_demo.py``.
 """
 
+from repro.reliability.errors import DeadlineExceededError, QueueFullError, ServerClosedError
 from repro.serve.engine import BatchingServer, ServerStats
 
-__all__ = ["BatchingServer", "ServerStats"]
+__all__ = [
+    "BatchingServer",
+    "DeadlineExceededError",
+    "QueueFullError",
+    "ServerClosedError",
+    "ServerStats",
+]

@@ -22,12 +22,46 @@ Why each piece exists:
   serving parity tests.
 * **Shape grouping** keeps correctness for mixed workloads: only requests
   with identical image shapes are stacked together, so no request is ever
-  resized or spatially padded.
+  resized or spatially padded.  A failing shape-group fails only its own
+  requests; the other groups in the same batch still answer.
+
+Reliability tier (PR 6) — admission control, deadlines, degradation:
+
+* **Bounded admission queue.**  ``max_queue`` caps queued requests;
+  ``submit`` on a full queue raises
+  :class:`~repro.reliability.errors.QueueFullError` *without enqueuing* —
+  overload sheds at the door instead of growing memory and latency
+  unboundedly.  ``0`` keeps the queue unbounded (the benchmark-burst
+  configuration).
+* **Per-request deadlines.**  ``submit(image, deadline_ms=...)`` (or the
+  server-wide ``deadline_ms`` default) stamps an absolute expiry; the
+  worker rejects expired requests with
+  :class:`~repro.reliability.errors.DeadlineExceededError` *before* batch
+  assembly, so a backlogged server never wastes a forward on an answer
+  nobody is waiting for.
+* **Caller timeouts.**  ``predict(timeout=...)`` / ``predict_many``
+  bound the wait on the response future, so a wedged batch (worker
+  stall, injected delay) cannot hang callers forever.
+* **Graceful degradation.**  The compiled executor is wrapped with
+  ``fallback=True``: a trace/replay failure degrades that batch to the
+  eager path (bit-identical results, one warning, counted) instead of
+  failing requests — an un-traceable model still serves.
+* **Observability.**  Counters live in a lock-guarded mutable record;
+  :meth:`BatchingServer.stats` returns an immutable snapshot (the
+  previous unlocked ``stats`` attribute was a data race with the worker
+  thread).  :meth:`BatchingServer.health` returns an endpoint-shaped
+  dict: queue depth, shed/expired counters, fallback count, and
+  p50/p95/p99 latency overall and per padding bucket.
+
+Knob defaults resolve through :mod:`repro.core.engine_config`
+(kwarg > context > ``REPRO_SERVE_QUEUE_LIMIT`` /
+``REPRO_SERVE_DEADLINE_MS`` > unbounded / no deadline).
 
 Responses are plain ``concurrent.futures.Future`` objects; exceptions
-raised by a batch propagate to every request in it.  The server is a
-context manager — ``close()`` drains nothing, it stops the worker after
-the queue empties.
+raised by a shape-group propagate to every request in it.  The server is
+a context manager — ``close()`` stops the worker after the queue empties,
+then assert-drains the queue: anything still there is a stranded request
+(a bug), which is failed loudly rather than left hanging.
 """
 
 from __future__ import annotations
@@ -37,28 +71,72 @@ import queue
 import threading
 import time
 from concurrent.futures import Future
-from typing import Any, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import xp as np
 
-from repro.core.engine_config import resolve_infer_engine
+from repro.core.engine_config import (
+    resolve_infer_engine,
+    resolve_serve_deadline_ms,
+    resolve_serve_queue_limit,
+)
 from repro.nn.module import Module
+from repro.reliability.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ServerClosedError,
+)
+from repro.reliability.faults import fault_point
 
 _STOP = object()
 
+# Latency samples kept per histogram (overall + per padding bucket); a
+# bounded window so a long-lived server's memory stays flat while the
+# percentiles track recent behaviour.
+_LATENCY_WINDOW = 4096
 
-@dataclasses.dataclass
+
+@dataclasses.dataclass(frozen=True)
 class ServerStats:
-    """Counters describing the batching behaviour of a server's lifetime."""
+    """Immutable snapshot of a server's lifetime counters.
+
+    ``requests`` counts admitted submissions; ``completed``/``failed``
+    partition answered requests by outcome; ``shed`` and ``expired`` are
+    the admission-control rejections (queue full / deadline passed) and
+    are *not* part of ``requests``/``failed``.  ``fallbacks`` counts
+    batches answered by the eager path after a compiled failure.
+    """
 
     requests: int = 0
     batches: int = 0
     padded_rows: int = 0
     max_batch_size: int = 0
+    completed: int = 0
+    failed: int = 0
+    shed: int = 0
+    expired: int = 0
+    fallbacks: int = 0
 
     @property
     def mean_batch_size(self) -> float:
-        return self.requests / self.batches if self.batches else 0.0
+        return self.completed / self.batches if self.batches else 0.0
+
+
+class _Request:
+    """One queued image with its response future and timing metadata."""
+
+    __slots__ = ("image", "future", "enqueued", "deadline")
+
+    def __init__(self, image: Any, future: "Future", deadline: Optional[float]) -> None:
+        self.image = image
+        self.future = future
+        self.enqueued = time.monotonic()
+        self.deadline = deadline
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        if self.deadline is None:
+            return False
+        return (now if now is not None else time.monotonic()) >= self.deadline
 
 
 def _bucket_size(count: int, max_batch: int) -> int:
@@ -67,6 +145,20 @@ def _bucket_size(count: int, max_batch: int) -> int:
     while size < count:
         size *= 2
     return min(size, max_batch)
+
+
+def _percentiles(samples: Sequence[float]) -> Dict[str, float]:
+    """Endpoint-shaped latency summary (milliseconds) of one window."""
+    if not samples:
+        return {"count": 0, "p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    array = np.asarray(samples, dtype=np.float64) * 1e3
+    p50, p95, p99 = np.percentile(array, (50.0, 95.0, 99.0))
+    return {
+        "count": int(array.size),
+        "p50_ms": float(p50),
+        "p95_ms": float(p95),
+        "p99_ms": float(p99),
+    }
 
 
 class BatchingServer:
@@ -89,6 +181,18 @@ class BatchingServer:
         ``REPRO_INFER_ENGINE`` > default).  The server exists to feed the
         ``"compiled"`` executor, but ``"eager"`` is honoured for
         comparisons — predictions are bit-identical either way.
+    max_queue:
+        Admission bound: queued (not yet batch-assembled) requests beyond
+        this are shed with :class:`QueueFullError`.  ``0`` = unbounded.
+        Resolves through the engine config (``REPRO_SERVE_QUEUE_LIMIT``).
+    deadline_ms:
+        Default per-request deadline; ``0`` disables.  Per-call
+        ``submit(..., deadline_ms=...)`` overrides.  Resolves through the
+        engine config (``REPRO_SERVE_DEADLINE_MS``).
+    fallback:
+        Wrap the compiled executor with eager degradation (default on —
+        this is the production path; pass ``False`` to make compiled
+        failures fail requests loudly instead).
     """
 
     def __init__(
@@ -97,6 +201,9 @@ class BatchingServer:
         max_batch: int = 8,
         max_wait_ms: float = 2.0,
         engine: Optional[str] = None,
+        max_queue: Optional[int] = None,
+        deadline_ms: Optional[float] = None,
+        fallback: bool = True,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1, got %d" % max_batch)
@@ -106,14 +213,25 @@ class BatchingServer:
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self.engine = resolve_infer_engine(engine)
-        self.stats = ServerStats()
+        self.max_queue = resolve_serve_queue_limit(max_queue)
+        self.default_deadline = resolve_serve_deadline_ms(deadline_ms) / 1000.0
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = threading.Lock()  # guards _closed + _depth (admission)
+        self._depth = 0
+        # Counters are mutated by the worker thread and read by any caller:
+        # one lock guards the mutable record; stats() snapshots under it.
+        self._stats_lock = threading.Lock()
+        self._counters = {field.name: 0 for field in dataclasses.fields(ServerStats)}
+        self._latency: List[float] = []
+        self._bucket_latency: Dict[int, List[float]] = {}
+        self._worker_error: Optional[BaseException] = None
         if self.engine == "compiled":
             from repro.graph.executor import CompiledModel
 
-            self._compiled: Optional["CompiledModel"] = CompiledModel(model)
+            self._compiled: Optional["CompiledModel"] = CompiledModel(
+                model, fallback=fallback
+            )
         else:
             self._compiled = None
         self._worker = threading.Thread(
@@ -123,36 +241,109 @@ class BatchingServer:
 
     # -- client surface --------------------------------------------------------
 
-    def submit(self, image: Any) -> "Future":
-        """Enqueue one image ``(H, W, C)``; resolves to its ``(H, W)`` labels."""
+    def submit(self, image: Any, deadline_ms: Optional[float] = None) -> "Future":
+        """Enqueue one image ``(H, W, C)``; resolves to its ``(H, W)`` labels.
+
+        Raises :class:`QueueFullError` (and sheds the request) when the
+        admission queue is at ``max_queue``.  ``deadline_ms`` bounds how
+        long the request may wait for batch assembly; an expired request
+        fails with :class:`DeadlineExceededError` instead of running.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0, got %r" % (deadline_ms,))
         # Convert outside the lock: for non-float64 inputs asarray copies,
         # and serialising that across client threads would bottleneck
         # submission on single-threaded preprocessing.
         array = np.asarray(image, dtype=np.float64)
+        deadline_s = (
+            deadline_ms / 1000.0 if deadline_ms is not None else self.default_deadline
+        )
+        deadline = time.monotonic() + deadline_s if deadline_s > 0 else None
         with self._lock:
             if self._closed:
                 raise RuntimeError("server is closed")
-            future: Future = Future()
-            self._queue.put((array, future))
+            if self.max_queue and self._depth >= self.max_queue:
+                shed = True
+            else:
+                shed = False
+                self._depth += 1
+                future: Future = Future()
+                self._queue.put(_Request(array, future, deadline))
+        if shed:
+            self._count(shed=1)
+            raise QueueFullError(
+                "admission queue full (%d queued, limit %d)"
+                % (self.max_queue, self.max_queue)
+            )
+        self._count(requests=1)
         return future
 
-    def predict(self, image: Any):
-        """Synchronous convenience wrapper: ``submit(image).result()``."""
-        return self.submit(image).result()
+    def predict(
+        self,
+        image: Any,
+        timeout: Optional[float] = None,
+        deadline_ms: Optional[float] = None,
+    ):
+        """Synchronous wrapper: ``submit(image).result(timeout)``.
 
-    def predict_many(self, images: Sequence[Any]) -> List[Any]:
-        """Submit a burst of images and wait for all results (in order)."""
+        ``timeout`` (seconds) bounds the wait on the response, so a wedged
+        batch cannot hang the caller; ``concurrent.futures.TimeoutError``
+        propagates when it expires.
+        """
+        return self.submit(image, deadline_ms=deadline_ms).result(timeout)
+
+    def predict_many(
+        self, images: Sequence[Any], timeout: Optional[float] = None
+    ) -> List[Any]:
+        """Submit a burst of images and wait for all results (in order).
+
+        ``timeout`` bounds the *total* wait across the burst.
+        """
         futures = [self.submit(image) for image in images]
-        return [future.result() for future in futures]
+        if timeout is None:
+            return [future.result() for future in futures]
+        deadline = time.monotonic() + timeout
+        return [
+            future.result(max(0.0, deadline - time.monotonic())) for future in futures
+        ]
 
     def close(self) -> None:
-        """Stop the worker after every queued request has been answered."""
+        """Stop the worker after every queued request has been answered.
+
+        The stop sentinel is enqueued *under the admission lock*, so no
+        submit can slip a request behind it.  After the worker joins, the
+        queue is assert-drained: a remaining request would mean the
+        ordering contract broke — its future is failed with
+        :class:`ServerClosedError` and the bug is raised loudly.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        self._queue.put(_STOP)
+            self._queue.put(_STOP)
         self._worker.join()
+        self._assert_drained()
+
+    def _assert_drained(self) -> None:
+        stranded = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if isinstance(item, _Request):
+                stranded.append(item)
+        if stranded:
+            error = ServerClosedError(
+                "server closed with %d unserved request(s) stranded in the queue"
+                % len(stranded)
+            )
+            for request in stranded:
+                request.future.set_exception(error)
+            raise AssertionError(
+                "BatchingServer.close() ordering contract violated: "
+                "%d request(s) were queued behind the stop sentinel" % len(stranded)
+            )
 
     def __enter__(self) -> "BatchingServer":
         return self
@@ -160,19 +351,111 @@ class BatchingServer:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    # -- observability ---------------------------------------------------------
+
+    def _count(self, **deltas: int) -> None:
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                self._counters[name] += delta
+
+    def _observe_max_batch(self, count: int) -> None:
+        with self._stats_lock:
+            if count > self._counters["max_batch_size"]:
+                self._counters["max_batch_size"] = count
+
+    def _record_latency(self, bucket: int, seconds: float) -> None:
+        with self._stats_lock:
+            window = self._bucket_latency.setdefault(bucket, [])
+            window.append(seconds)
+            del window[:-_LATENCY_WINDOW]
+            self._latency.append(seconds)
+            del self._latency[:-_LATENCY_WINDOW]
+
+    def stats(self) -> ServerStats:
+        """An immutable, internally consistent snapshot of the counters."""
+        fallbacks = self._compiled.fallback_count if self._compiled is not None else 0
+        with self._stats_lock:
+            values = dict(self._counters)
+        values["fallbacks"] = fallbacks
+        return ServerStats(**values)
+
+    def health(self) -> Dict[str, Any]:
+        """Endpoint-shaped health report (JSON-serialisable).
+
+        Carries everything a load balancer or dashboard needs: liveness,
+        queue depth against its bound, the admission-control counters,
+        the compiled-fallback count, and p50/p95/p99 latency overall and
+        per padding bucket.
+        """
+        snapshot = self.stats()
+        with self._lock:
+            depth = self._depth
+            closed = self._closed
+        with self._stats_lock:
+            latency = _percentiles(self._latency)
+            buckets = {
+                str(bucket): _percentiles(window)
+                for bucket, window in sorted(self._bucket_latency.items())
+            }
+        degraded = snapshot.fallbacks > 0 or self._worker_error is not None
+        if closed:
+            status = "closed"
+        elif self._worker_error is not None or not self._worker.is_alive():
+            status = "failed"
+        elif degraded:
+            status = "degraded"
+        else:
+            status = "ok"
+        return {
+            "status": status,
+            "engine": self.engine,
+            "queue_depth": depth,
+            "queue_limit": self.max_queue,
+            "worker_alive": self._worker.is_alive(),
+            "worker_error": (
+                repr(self._worker_error) if self._worker_error is not None else None
+            ),
+            "counters": dataclasses.asdict(snapshot),
+            "latency_ms": latency,
+            "bucket_latency_ms": buckets,
+        }
+
     # -- worker ----------------------------------------------------------------
 
-    def _collect(self) -> Tuple[List[Tuple[Any, Future]], bool]:
+    def _take(self, item: Any, now: float) -> Optional[_Request]:
+        """Account one dequeued item; expire it here if its deadline passed."""
+        if not isinstance(item, _Request):
+            return None
+        with self._lock:
+            self._depth -= 1
+        if item.expired(now):
+            self._count(expired=1)
+            item.future.set_exception(
+                DeadlineExceededError(
+                    "deadline expired %.1f ms before batch assembly"
+                    % (1e3 * (now - item.deadline))
+                )
+            )
+            return None
+        return item
+
+    def _collect(self) -> Tuple[List[_Request], bool]:
         """Block for the next request, then drain up to a full batch.
 
         Returns ``(requests, stop)``; ``stop`` is set when the shutdown
         sentinel was consumed (after which no request follows it — close()
-        enqueues it last and submit() refuses once closed).
+        enqueues it last *under the admission lock* and submit() refuses
+        once closed).  Requests whose deadline already passed are rejected
+        here — before batch assembly — and never occupy a batch slot.
         """
-        first = self._queue.get()
-        if first is _STOP:
-            return [], True
-        pending = [first]
+        pending: List[_Request] = []
+        while not pending:
+            first = self._queue.get()
+            if first is _STOP:
+                return [], True
+            taken = self._take(first, time.monotonic())
+            if taken is not None:
+                pending.append(taken)
         deadline = None
         while len(pending) < self.max_batch:
             if self.max_wait <= 0:
@@ -194,18 +477,31 @@ class BatchingServer:
                     break
             if item is _STOP:
                 return pending, True
-            pending.append(item)
+            taken = self._take(item, time.monotonic())
+            if taken is not None:
+                pending.append(taken)
         return pending, False
 
-    def _run_batch(self, requests: List[Tuple[Any, Future]]) -> None:
+    def _run_batch(self, requests: List[_Request]) -> None:
+        fault_point("serve.batch")
+        # A second expiry sweep: time passed while the batch filled.
+        now = time.monotonic()
+        live: List[_Request] = []
+        for request in requests:
+            if request.expired(now):
+                self._count(expired=1)
+                request.future.set_exception(
+                    DeadlineExceededError("deadline expired during batch collection")
+                )
+            else:
+                live.append(request)
         # Group by image shape so no request is spatially padded; each
         # group becomes one stacked forward.
-        groups: dict = {}
-        for image, future in requests:
-            groups.setdefault(image.shape, []).append((image, future))
+        groups: Dict[Tuple[int, ...], List[_Request]] = {}
+        for request in live:
+            groups.setdefault(request.image.shape, []).append(request)
         for _, group in sorted(groups.items()):
-            images = [image for image, _ in group]
-            futures = [future for _, future in group]
+            images = [request.image for request in group]
             count = len(images)
             padded_to = _bucket_size(count, self.max_batch)
             if padded_to > count:
@@ -216,21 +512,36 @@ class BatchingServer:
                     predictions = self._compiled.predict(batch)
                 else:
                     predictions = self.model.predict(batch, engine="eager")
-            except BaseException as error:  # propagate to every caller
-                for future in futures:
-                    future.set_exception(error)
+            except BaseException as error:  # propagate to every caller in the group
+                self._count(failed=count)
+                for request in group:
+                    request.future.set_exception(error)
                 continue
-            self.stats.requests += count
-            self.stats.batches += 1
-            self.stats.padded_rows += padded_to - count
-            self.stats.max_batch_size = max(self.stats.max_batch_size, count)
-            for index, future in enumerate(futures):
-                future.set_result(predictions[index])
+            done = time.monotonic()
+            self._count(batches=1, completed=count, padded_rows=padded_to - count)
+            self._observe_max_batch(count)
+            for index, request in enumerate(group):
+                self._record_latency(padded_to, done - request.enqueued)
+                request.future.set_result(predictions[index])
 
     def _serve_loop(self) -> None:
-        while True:
-            requests, stop = self._collect()
-            if requests:
-                self._run_batch(requests)
-            if stop:
-                return
+        try:
+            while True:
+                requests, stop = self._collect()
+                if requests:
+                    self._run_batch(requests)
+                if stop:
+                    return
+        except BaseException as error:  # worker must never die silently
+            self._worker_error = error
+            while True:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    break
+                if isinstance(item, _Request):
+                    with self._lock:
+                        self._depth -= 1
+                    self._count(failed=1)
+                    item.future.set_exception(error)
+            raise

@@ -71,7 +71,7 @@ class TestBatchingServer:
         with BatchingServer(served_model, max_batch=8, max_wait_ms=20.0,
                             engine="compiled") as server:
             server.predict_many(images)
-            stats = server.stats
+            stats = server.stats()
         assert stats.requests == 16
         assert stats.batches < 16  # fusion actually happened
         assert stats.max_batch_size > 1
@@ -85,7 +85,7 @@ class TestBatchingServer:
         with BatchingServer(served_model, max_batch=8, max_wait_ms=20.0,
                             engine="compiled") as server:
             results = server.predict_many(images)
-            stats = server.stats
+            stats = server.stats()
         assert stats.padded_rows >= 1
         for got, want in zip(results, reference):
             np.testing.assert_array_equal(got, want)
@@ -134,6 +134,70 @@ class TestBatchingServer:
                 server.predict(image),
                 served_model.predict(image[None], engine="eager")[0],
             )
+
+    def test_one_failing_shape_group_does_not_poison_the_batch(self, served_model):
+        # An invalid image (7x7 is not patch-divisible) and valid images
+        # land in the same batch window; they form separate shape groups,
+        # so only the invalid group's callers see the error.
+        valid = make_images(3, seed=11)
+        reference = [served_model.predict(im[None], engine="eager")[0] for im in valid]
+        with BatchingServer(served_model, max_batch=8, max_wait_ms=50.0,
+                            engine="compiled") as server:
+            bad_future = server.submit(np.zeros((7, 7, 3)))
+            good_futures = [server.submit(image) for image in valid]
+            with pytest.raises(ValueError):
+                bad_future.result(timeout=10)
+            for future, want in zip(good_futures, reference):
+                np.testing.assert_array_equal(future.result(timeout=10), want)
+            stats = server.stats()
+        assert stats.failed == 1
+        assert stats.completed == len(valid)
+
+    def test_health_report_shape(self, served_model):
+        with BatchingServer(served_model, max_batch=4, max_wait_ms=5.0,
+                            engine="compiled", max_queue=64) as server:
+            server.predict_many(make_images(6, seed=12))
+            health = server.health()
+        assert health["status"] == "ok"
+        assert health["engine"] == "compiled"
+        assert health["queue_limit"] == 64
+        assert health["worker_alive"] is True
+        assert health["worker_error"] is None
+        assert health["counters"]["completed"] == 6
+        assert health["counters"]["shed"] == 0
+        assert health["latency_ms"]["count"] == 6
+        assert health["latency_ms"]["p50_ms"] <= health["latency_ms"]["p99_ms"]
+        for bucket, summary in health["bucket_latency_ms"].items():
+            int(bucket)  # buckets keyed by padded batch size, JSON-friendly
+            assert summary["count"] > 0
+        import json
+
+        json.dumps(health)  # endpoint-shaped: must serialise as-is
+
+    def test_close_fails_stranded_requests_loudly(self, served_model):
+        # White-box: violate close()'s ordering contract on purpose by
+        # sneaking a request behind the stop sentinel; the drain must fail
+        # the future with ServerClosedError and raise the bug loudly.
+        from concurrent.futures import Future
+
+        from repro.serve import ServerClosedError
+        from repro.serve.engine import _Request
+
+        server = BatchingServer(served_model, engine="eager")
+        server.close()
+        stranded = _Request(np.zeros((16, 16, 3)), Future(), None)
+        server._queue.put(stranded)
+        with pytest.raises(AssertionError, match="ordering contract"):
+            server._assert_drained()
+        with pytest.raises(ServerClosedError):
+            stranded.future.result(timeout=0)
+
+    def test_invalid_deadline_rejected(self, served_model):
+        with BatchingServer(served_model, engine="eager") as server:
+            with pytest.raises(ValueError):
+                server.submit(np.zeros((16, 16, 3)), deadline_ms=0.0)
+            with pytest.raises(ValueError):
+                server.submit(np.zeros((16, 16, 3)), deadline_ms=-5.0)
 
     def test_submit_after_close_raises(self, served_model):
         server = BatchingServer(served_model, engine="compiled")

@@ -165,6 +165,25 @@ class TestExperimentEquivalence:
         assert engine.stats.deduped + engine.stats.memory_hits >= 1
 
 
+class TestManifestSurface:
+    """run_manifest on the healthy path: all cells, empty failure set."""
+
+    def test_healthy_manifest(self):
+        engine = fresh_engine()
+        jobs = [
+            ApproximationJob("gelu", "gqa-rm", 8, QUICK),
+            ApproximationJob("div", "gqa-wo-rm", 8, QUICK),
+        ]
+        manifest = engine.run_manifest(jobs, workers=0)
+        assert manifest.ok
+        assert manifest.failures == {}
+        assert set(manifest.results) == {job.key for job in jobs}
+        assert manifest.stats.retries == 0
+        assert manifest.stats.redispatches == 0
+        assert manifest.stats.failures == 0
+        assert manifest.require() is manifest.results
+
+
 class TestDefaultEngine:
     """default_engine() honours the engine-config artifact directory."""
 
@@ -238,6 +257,22 @@ class TestArtifactStore:
 
     def test_missing_key_loads_none(self, tmp_path):
         assert ArtifactStore(tmp_path).load("0" * 64) is None
+
+    def test_checksumless_legacy_artifact_still_loads(self, tmp_path):
+        # Artifacts written before the checksum field must stay readable
+        # (validation is opportunistic: no checksum, no verdict).
+        built = fresh_engine().build(self.JOB)
+        store = ArtifactStore(tmp_path)
+        np.savez(
+            store.path_for(self.JOB.key),
+            breakpoints=built.breakpoints,
+            slopes=built.slopes,
+            intercepts=built.intercepts,
+        )
+        loaded = store.load(self.JOB.key)
+        assert loaded is not None
+        assert_pwl_equal(loaded, built)
+        assert store.corrupt_reads == 0
 
     def test_store_keys_listing(self, tmp_path):
         engine = fresh_engine(tmp_path)
