@@ -12,7 +12,9 @@ This is the 60-second tour of the library:
 5. re-run the search under the legacy engines via the central engine
    config — one ``with`` block instead of threading ``engine=`` kwargs,
 6. deploy the searched pwl inside a segmentation model and predict
-   through the compiled inference engine (traced once, then replayed).
+   through the compiled inference engine (traced once, then replayed),
+7. hot-swap a re-searched LUT into a live replicated fleet — the canary
+   gate verifies each replica bit-for-bit before promoting it.
 
 Run with::
 
@@ -79,6 +81,31 @@ def main() -> None:
     eager_pred = model.predict(images, engine="eager")
     compiled_pred = model.predict(images, engine="compiled")
     print("compiled == eager predictions:", np.array_equal(compiled_pred, eager_pred))
+
+    # 6. Rolling hot-swap: serve the model from a 2-replica fleet, then
+    #    deploy a *better* GELU table (a deeper search) into the running
+    #    service.  swap_state drains each replica, applies the new
+    #    weights + LUT tables, and bit-compares its canary prediction
+    #    against the reference model before promoting — a corrupt or
+    #    divergent replica is rolled back instead of serving garbage.
+    from repro.serve import ReplicatedServer
+
+    better = searcher.search(generations=400, seed=1)
+    with ReplicatedServer(model, replicas=2, max_batch=8,
+                          canary=images[0]) as fleet:
+        report = fleet.swap_state(
+            dict(model.state_dict()), lut_tables={"gelu": better.pwl_fxp}
+        )
+        # The reference model carries the new table too; every replica
+        # answer must match it bit-for-bit (the canary gate enforced the
+        # same parity per replica before promotion).
+        served = fleet.predict(images[1], timeout=30.0)
+        expected = model.predict(images[1][None], engine="eager")[0]
+        print("hot-swap promoted %d replicas to generation %d "
+              "(fleet == reference: %s)"
+              % (report["swapped"], report["model_generation"],
+                 np.array_equal(served, expected)))
+        fleet.drain(timeout=30.0)  # graceful: outstanding work finishes first
 
 
 if __name__ == "__main__":

@@ -10,7 +10,10 @@ The deployment story end to end:
 3. stand up a :class:`repro.serve.BatchingServer` and fire concurrent
    single-image requests at it from worker threads,
 4. compare against sequential eager inference and print the batching
-   stats.
+   stats,
+5. promote the same model into a :class:`repro.serve.ReplicatedServer`
+   fleet: per-replica health, a canary-verified rolling hot-swap to new
+   head weights, and a graceful drain before shutdown.
 
 Run with::
 
@@ -27,7 +30,7 @@ from repro.functions.registry import get_function
 from repro.nn.approx import PWLSuite
 from repro.nn.models import MiniSegformer, ModelConfig
 from repro.nn.training import prepare_quantized_model
-from repro.serve import BatchingServer
+from repro.serve import BatchingServer, ReplicatedServer
 
 OPERATORS = ("exp", "gelu", "div", "rsqrt")
 
@@ -94,6 +97,32 @@ def main() -> None:
           % (health["status"], health["counters"]["shed"],
              health["counters"]["expired"], health["counters"]["fallbacks"],
              health["latency_ms"]["p50_ms"], health["latency_ms"]["p99_ms"]))
+
+    # 5. Replicated serving: the same admission surface fronting forked
+    #    replica processes.  A canary image gates the rolling hot-swap —
+    #    each replica must reproduce the reference model's prediction on
+    #    it bit-for-bit before being promoted to the new weights.
+    new_state = dict(model.state_dict())
+    key = next(n for n in new_state if "head" in n and n.endswith("bias"))
+    new_state[key] = new_state[key] + np.arange(new_state[key].size) * 7.0
+    with ReplicatedServer(model, replicas=2, max_batch=16, max_wait_ms=2.0,
+                          canary=images[0]) as fleet:
+        before = fleet.predict(images[1], timeout=30.0)
+        assert np.array_equal(before, eager[1])  # any replica, same bits
+        report = fleet.swap_state(new_state)
+        print("fleet swap        : %d replicas promoted to generation %d"
+              % (report["swapped"], report["model_generation"]))
+        after = fleet.predict(images[1], timeout=30.0)
+        print("swap changed head :", not np.array_equal(before, after))
+        fleet_health = fleet.health()
+        print("fleet health      : status=%s  replicas=%s"
+              % (fleet_health["status"],
+                 [(r["index"], r["state"], "gen%d" % r["model_generation"])
+                  for r in fleet_health["replicas"]]))
+        # Graceful drain: wait out every outstanding request before the
+        # context manager tears the replicas down.
+        drained = fleet.drain(timeout=30.0)
+        print("drained           :", drained)
 
 
 if __name__ == "__main__":

@@ -64,6 +64,9 @@ RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BASE_DELAY_ENV = "REPRO_RETRY_BASE_DELAY"
 SERVE_QUEUE_LIMIT_ENV = "REPRO_SERVE_QUEUE_LIMIT"
 SERVE_DEADLINE_MS_ENV = "REPRO_SERVE_DEADLINE_MS"
+SERVE_REPLICAS_ENV = "REPRO_SERVE_REPLICAS"
+SERVE_HEARTBEAT_MS_ENV = "REPRO_SERVE_HEARTBEAT_MS"
+SERVE_CRASH_LOOP_THRESHOLD_ENV = "REPRO_SERVE_CRASH_LOOP_THRESHOLD"
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,6 +86,13 @@ class EngineConfig:
     retry_base_delay: float = 0.05
     serve_queue_limit: int = 0
     serve_deadline_ms: float = 0.0
+    # Replicated-serving knobs (PR 7): the supervisor's fleet size, how
+    # often each worker heartbeats (staleness past 5x the interval is a
+    # hang and the replica is killed), and how many deaths inside the
+    # crash-loop window trip the circuit breaker into FAILED.
+    serve_replicas: int = 2
+    serve_heartbeat_ms: float = 100.0
+    serve_crash_loop_threshold: int = 3
 
     def __post_init__(self) -> None:
         check_ga_engine(self.ga_engine)
@@ -103,6 +113,19 @@ class EngineConfig:
         if self.serve_deadline_ms < 0:
             raise ValueError(
                 "serve_deadline_ms must be >= 0, got %r" % (self.serve_deadline_ms,)
+            )
+        if self.serve_replicas < 1:
+            raise ValueError(
+                "serve_replicas must be >= 1, got %r" % (self.serve_replicas,)
+            )
+        if self.serve_heartbeat_ms <= 0:
+            raise ValueError(
+                "serve_heartbeat_ms must be > 0, got %r" % (self.serve_heartbeat_ms,)
+            )
+        if self.serve_crash_loop_threshold < 1:
+            raise ValueError(
+                "serve_crash_loop_threshold must be >= 1, got %r"
+                % (self.serve_crash_loop_threshold,)
             )
 
 
@@ -166,6 +189,9 @@ def _env_layer() -> Dict[str, Any]:
         (RETRY_BASE_DELAY_ENV, "retry_base_delay", float),
         (SERVE_QUEUE_LIMIT_ENV, "serve_queue_limit", int),
         (SERVE_DEADLINE_MS_ENV, "serve_deadline_ms", float),
+        (SERVE_REPLICAS_ENV, "serve_replicas", int),
+        (SERVE_HEARTBEAT_MS_ENV, "serve_heartbeat_ms", float),
+        (SERVE_CRASH_LOOP_THRESHOLD_ENV, "serve_crash_loop_threshold", int),
     ):
         raw = os.environ.get(env)
         if raw:
@@ -289,3 +315,30 @@ def resolve_serve_deadline_ms(override: Optional[float] = None) -> float:
             raise ValueError("deadline must be >= 0, got %r" % (override,))
         return float(override)
     return current().serve_deadline_ms
+
+
+def resolve_serve_replicas(override: Optional[int] = None) -> int:
+    """Replicated-serving fleet size: kwarg > context > env > ``2``."""
+    if override is not None:
+        if override < 1:
+            raise ValueError("replicas must be >= 1, got %r" % (override,))
+        return int(override)
+    return current().serve_replicas
+
+
+def resolve_serve_heartbeat_ms(override: Optional[float] = None) -> float:
+    """Replica heartbeat interval (ms): kwarg > context > env > ``100``."""
+    if override is not None:
+        if override <= 0:
+            raise ValueError("heartbeat interval must be > 0, got %r" % (override,))
+        return float(override)
+    return current().serve_heartbeat_ms
+
+
+def resolve_serve_crash_loop_threshold(override: Optional[int] = None) -> int:
+    """Deaths-in-window tripping the breaker: kwarg > context > env > ``3``."""
+    if override is not None:
+        if override < 1:
+            raise ValueError("crash-loop threshold must be >= 1, got %r" % (override,))
+        return int(override)
+    return current().serve_crash_loop_threshold

@@ -172,6 +172,27 @@ class CompiledModel:
         """Number of cached input-signature specialisations."""
         return len(self._cache)
 
+    # -- state swap (replicated serving) ---------------------------------------
+
+    def snapshot_state(self) -> Dict[str, Any]:
+        """Copy of the wrapped module's parameters, keyed by dotted name.
+
+        The supervisor's hot-swap protocol captures this before mutating a
+        fleet so a failed swap can roll the old state back bit-exactly.
+        """
+        return self.module.state_dict()
+
+    def rebind_state(self, state: Dict[str, Any], strict: bool = True) -> None:
+        """Strict-load new parameters and drop every cached specialisation.
+
+        ``load_state_dict`` rebinds parameter ``.data`` arrays, which the
+        per-call staleness check would eventually notice — but a swap must
+        not serve even one stale replay, so the cache is flushed here,
+        synchronously, before the call returns.
+        """
+        self.module.load_state_dict(state, strict=strict)
+        self.invalidate()
+
     def graph_for(self, *arrays: Any) -> CompiledGraph:
         """The cached (or freshly compiled) executable for this signature."""
         if self._param_snapshot and self._params_moved():

@@ -124,6 +124,19 @@ class PWLActivation(Module):
             self._dense_version = version
         return self._dense_table
 
+    def swap_pwl(self, pwl: PiecewiseLinear) -> PiecewiseLinear:
+        """Replace the deployed approximation; returns the previous one.
+
+        Drops the cached dense table so the next forward rebuilds it from
+        the new pwl at the quantizer's current (unchanged) scale — the
+        rolling hot-swap path must never serve a stale table.
+        """
+        previous = self.pwl
+        self.pwl = pwl
+        self._dense_table = None
+        self._dense_version = -1
+        return previous
+
     def forward(self, x: Tensor) -> Tensor:
         if not self.quantizer.initialised:
             self.quantizer.initialise_from(x.data)
@@ -166,6 +179,14 @@ class PWLWideRange(Module):
         self.engine = resolve_pwl_engine(engine)
         self.scaling = scaling or default_multi_range(name)
         self.wrapped = MultiRangePWL(pwl=pwl, scaling=self.scaling, frac_bits=frac_bits)
+
+    def swap_pwl(self, pwl: PiecewiseLinear) -> PiecewiseLinear:
+        """Replace the deployed approximation; returns the previous one."""
+        previous = self.wrapped.pwl
+        self.wrapped = MultiRangePWL(
+            pwl=pwl, scaling=self.scaling, frac_bits=self.wrapped.frac_bits
+        )
+        return previous
 
     def forward(self, x: Tensor) -> Tensor:
         wrapped = self.wrapped
@@ -338,3 +359,30 @@ class PWLSuite(OperatorSuite):
                                  frac_bits=self.frac_bits, engine=self.engine)
             return PWLLayerNorm(num_features, rsqrt)
         return LayerNorm(num_features)
+
+
+def swap_lut_tables(
+    model: Module, tables: Dict[str, PiecewiseLinear]
+) -> Dict[str, PiecewiseLinear]:
+    """Hot-swap deployed pwl approximations by operator name across ``model``.
+
+    Every :class:`PWLActivation` / :class:`PWLWideRange` whose ``name`` is
+    a key of ``tables`` gets the new approximation (cached dense tables are
+    dropped so the next forward rebuilds from the new pwl).  Returns the
+    previous table per name, so a failed rolling swap can restore them
+    bit-exactly.  A name matching no module raises ``KeyError`` — a swap
+    aimed at an operator the model does not deploy must fail loudly, not
+    silently serve the old table.
+    """
+    previous: Dict[str, PiecewiseLinear] = {}
+    for module in model.modules():
+        if isinstance(module, (PWLActivation, PWLWideRange)) and module.name in tables:
+            old = module.swap_pwl(tables[module.name])
+            previous.setdefault(module.name, old)
+    unknown = sorted(set(tables) - set(previous))
+    if unknown:
+        raise KeyError(
+            "no deployed pwl module named %s in the model "
+            "(deployed: %s)" % (unknown, sorted(previous))
+        )
+    return previous

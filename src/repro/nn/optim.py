@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.backend import xp as np
 
@@ -26,6 +26,26 @@ class Optimizer:
 
     def step(self) -> None:  # pragma: no cover - interface
         raise NotImplementedError
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Resumable state: the learning rate plus per-parameter buffers.
+
+        Subclasses with momentum/moment buffers extend this — together
+        with the model's ``state_dict`` it makes a mid-run checkpoint
+        bit-exact to an uninterrupted run (pinned by the resume tests).
+        """
+        return {"lr": self.lr}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        self.lr = float(state["lr"])
+
+    def _check_buffers(self, name: str, buffers: List[Any]) -> List[Any]:
+        if len(buffers) != len(self.parameters):
+            raise ValueError(
+                "optimizer state has %d %s buffer(s) for %d parameter(s)"
+                % (len(buffers), name, len(self.parameters))
+            )
+        return [np.asarray(buffer, dtype=np.float64).copy() for buffer in buffers]
 
 
 class SGD(Optimizer):
@@ -55,6 +75,15 @@ class SGD(Optimizer):
                 velocity += grad
                 grad = velocity
             param.data = param.data - self.lr * grad
+
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["velocity"] = [velocity.copy() for velocity in self._velocity]
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._velocity = self._check_buffers("velocity", state["velocity"])
 
 
 class Adam(Optimizer):
@@ -90,6 +119,19 @@ class Adam(Optimizer):
             v_hat = self._v[i] / (1 - self.beta2 ** self._step)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
+    def state_dict(self) -> Dict[str, Any]:
+        state = super().state_dict()
+        state["step"] = self._step
+        state["m"] = [m.copy() for m in self._m]
+        state["v"] = [v.copy() for v in self._v]
+        return state
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        super().load_state_dict(state)
+        self._step = int(state["step"])
+        self._m = self._check_buffers("m", state["m"])
+        self._v = self._check_buffers("v", state["v"])
+
 
 class CosineSchedule:
     """Cosine learning-rate decay over a fixed number of steps."""
@@ -110,3 +152,15 @@ class CosineSchedule:
         lr = self.min_lr + 0.5 * (self.base_lr - self.min_lr) * (1 + np.cos(np.pi * progress))
         self.optimizer.lr = float(lr)
         return float(lr)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Resumable state: only the step — the decay shape is config."""
+        return {"step": self._step}
+
+    def load_state_dict(self, state: Dict[str, Any]) -> None:
+        step = int(state["step"])
+        if not 0 <= step <= self.total_steps:
+            raise ValueError(
+                "schedule step %d outside [0, %d]" % (step, self.total_steps)
+            )
+        self._step = step

@@ -20,35 +20,47 @@ serving tier (:mod:`repro.serve.engine`), the sweep engine
 """
 
 from repro.reliability.errors import (
+    CheckpointCorruptError,
     DeadlineExceededError,
     InjectedFault,
     JobQuarantinedError,
+    NoHealthyReplicaError,
     QueueFullError,
     ReliabilityError,
+    ReplicaCrashLoopError,
+    ReplicaDiedError,
     ServerClosedError,
+    SwapFailedError,
 )
 from repro.reliability.faults import (
     FaultPlan,
     FaultSpec,
     corrupt_file,
+    fault_flag,
     fault_point,
     inject,
 )
 from repro.reliability.retry import RetryPolicy, RetryResult, call_with_retry, run_with_retry
 
 __all__ = [
+    "CheckpointCorruptError",
     "DeadlineExceededError",
     "FaultPlan",
     "FaultSpec",
     "InjectedFault",
     "JobQuarantinedError",
+    "NoHealthyReplicaError",
     "QueueFullError",
     "ReliabilityError",
+    "ReplicaCrashLoopError",
+    "ReplicaDiedError",
     "RetryPolicy",
     "RetryResult",
     "ServerClosedError",
+    "SwapFailedError",
     "call_with_retry",
     "corrupt_file",
+    "fault_flag",
     "fault_point",
     "inject",
     "run_with_retry",

@@ -35,3 +35,44 @@ class InjectedFault(ReliabilityError):
 
 class JobQuarantinedError(ReliabilityError):
     """A sweep job was refused because its key is quarantined as poison."""
+
+
+class ReplicaDiedError(ReliabilityError):
+    """A serving replica process died while work was pending on it.
+
+    Callers normally never see this — the supervisor re-dispatches the
+    dead replica's in-flight batch to a survivor (inference is pure).  It
+    surfaces only when the re-dispatch budget is exhausted or a targeted
+    command (swap, drain) was aimed at the replica that died.
+    """
+
+
+class ReplicaCrashLoopError(ReliabilityError):
+    """A replica died too many times inside the crash-loop window.
+
+    The supervisor's circuit breaker stops restarting the replica and
+    marks it failed; ``health()`` reports the server as degraded.
+    """
+
+
+class NoHealthyReplicaError(ReliabilityError):
+    """Every replica has tripped the crash-loop breaker; nothing can serve."""
+
+
+class SwapFailedError(ReliabilityError):
+    """A rolling hot-swap aborted and the fleet was rolled back.
+
+    Raised by ``ReplicatedServer.swap_state`` after a replica failed the
+    canary bit-parity check (or errored mid-swap): the old state has been
+    restored on every already-promoted replica, so the fleet keeps serving
+    the previous model uniformly.
+    """
+
+
+class CheckpointCorruptError(ReliabilityError):
+    """A training checkpoint failed its content checksum on load.
+
+    Restoring from corrupt bytes would silently resume a different run;
+    the trainer refuses loudly instead (the atomic write protocol makes a
+    torn *write* impossible, so this means real on-disk corruption).
+    """

@@ -221,6 +221,29 @@ def fault_point(site: str) -> None:
             )
 
 
+def fault_flag(site: str) -> bool:
+    """``True`` when a matching spec fires at this call — without raising.
+
+    The boolean twin of :func:`fault_point` for faults that cannot be
+    expressed as an exception from the seam: a replica killing its own
+    process (``os._exit`` leaves no frame to raise through) or silent
+    state corruption mid-swap.  The call counter and delay semantics are
+    identical to :func:`fault_point`; only the firing behaviour differs —
+    the caller decides what "firing" means at this seam.
+    """
+    state = _active_state()
+    if state is None:
+        return False
+    specs = state.plan.matching(site)
+    if not specs:
+        return False
+    call = state.next_call(site)
+    for spec in specs:
+        if spec.delays(call):
+            time.sleep(spec.delay_seconds)
+    return any(spec.fails(call) for spec in specs)
+
+
 def corrupt_file(site: str, path: os.PathLike) -> bool:
     """Deterministically corrupt the file at ``path`` if the plan says so.
 

@@ -58,6 +58,13 @@ class RetryPolicy:
     retryable / fatal:
         Exception classes considered transient / permanent.  ``fatal``
         wins on overlap; anything matching neither propagates as fatal.
+    max_elapsed:
+        Optional total-elapsed budget in seconds (``None`` = unbounded).
+        Retrying gives up once the *next* attempt could not start inside
+        the budget — i.e. when ``elapsed + backoff > max_elapsed`` — so a
+        deadline-driven caller (a serving supervisor restarting replicas,
+        a request with an SLA) never sleeps past its deadline just
+        because attempts remain.  The first attempt always runs.
     """
 
     max_attempts: int = 3
@@ -68,6 +75,7 @@ class RetryPolicy:
     seed: int = 0
     retryable: Tuple[type, ...] = (Exception,)
     fatal: Tuple[type, ...] = ()
+    max_elapsed: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -77,6 +85,8 @@ class RetryPolicy:
                 raise ValueError("%s must be >= 0, got %r" % (name, getattr(self, name)))
         if self.multiplier < 1.0:
             raise ValueError("multiplier must be >= 1, got %r" % (self.multiplier,))
+        if self.max_elapsed is not None and self.max_elapsed < 0:
+            raise ValueError("max_elapsed must be >= 0, got %r" % (self.max_elapsed,))
 
     def is_retryable(self, error: BaseException) -> bool:
         """``True`` when ``error`` is transient under this policy."""
@@ -135,13 +145,15 @@ def run_with_retry(
     policy: Optional[RetryPolicy] = None,
     site: str = "",
     sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
 ) -> RetryResult:
     """Call ``fn`` under ``policy``; never raises for ``Exception`` failures.
 
-    ``sleep`` is injectable so tests assert the backoff schedule without
-    actually waiting.
+    ``sleep`` and ``clock`` are injectable so tests assert the backoff
+    schedule (and the ``max_elapsed`` budget) without actually waiting.
     """
     policy = RetryPolicy.resolve(policy)
+    started = clock()
     attempts = 0
     while True:
         attempts += 1
@@ -151,6 +163,12 @@ def run_with_retry(
             if attempts >= policy.max_attempts or not policy.is_retryable(error):
                 return RetryResult(error=error, attempts=attempts, site=site)
             delay = policy.backoff(attempts, site=site)
+            if policy.max_elapsed is not None:
+                # Budget check covers the sleep we are *about* to take: a
+                # retry that could only start past the deadline is pointless
+                # work for a caller that has already given up waiting.
+                if (clock() - started) + delay > policy.max_elapsed:
+                    return RetryResult(error=error, attempts=attempts, site=site)
             if delay > 0:
                 sleep(delay)
 
@@ -160,9 +178,10 @@ def call_with_retry(
     policy: Optional[RetryPolicy] = None,
     site: str = "",
     sleep: Callable[[float], None] = time.sleep,
+    clock: Callable[[], float] = time.monotonic,
 ) -> Any:
     """Like :func:`run_with_retry` but re-raises the final error."""
-    outcome = run_with_retry(fn, policy=policy, site=site, sleep=sleep)
+    outcome = run_with_retry(fn, policy=policy, site=site, sleep=sleep, clock=clock)
     if outcome.error is not None:
         raise outcome.error
     return outcome.value

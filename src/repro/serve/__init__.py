@@ -7,15 +7,34 @@ sheds overload), per-request deadlines
 (:class:`~repro.reliability.errors.DeadlineExceededError`), eager
 degradation on compiled failures, and a ``health()`` report with latency
 histograms — see :mod:`repro.serve.engine` and ``examples/serve_demo.py``.
+
+:class:`ReplicatedServer` puts N forked worker processes behind the same
+admission surface and supervises them: heartbeat + sentinel death
+detection, backoff restarts with a crash-loop circuit breaker,
+bit-identical re-dispatch of batches lost to a dying replica, rolling
+canary-verified hot-swap (:meth:`ReplicatedServer.swap_state`) and
+graceful drain — see :mod:`repro.serve.supervisor`.
 """
 
-from repro.reliability.errors import DeadlineExceededError, QueueFullError, ServerClosedError
+from repro.reliability.errors import (
+    DeadlineExceededError,
+    NoHealthyReplicaError,
+    QueueFullError,
+    ReplicaDiedError,
+    ServerClosedError,
+    SwapFailedError,
+)
 from repro.serve.engine import BatchingServer, ServerStats
+from repro.serve.supervisor import ReplicatedServer
 
 __all__ = [
     "BatchingServer",
+    "ReplicatedServer",
     "DeadlineExceededError",
+    "NoHealthyReplicaError",
     "QueueFullError",
+    "ReplicaDiedError",
     "ServerClosedError",
     "ServerStats",
+    "SwapFailedError",
 ]

@@ -226,18 +226,24 @@ class BatchingServer:
         self._latency: List[float] = []
         self._bucket_latency: Dict[int, List[float]] = {}
         self._worker_error: Optional[BaseException] = None
-        if self.engine == "compiled":
-            from repro.graph.executor import CompiledModel
-
-            self._compiled: Optional["CompiledModel"] = CompiledModel(
-                model, fallback=fallback
-            )
-        else:
-            self._compiled = None
+        self._fallback = fallback
+        self._setup_executor()
         self._worker = threading.Thread(
             target=self._serve_loop, name="repro-batching-server", daemon=True
         )
         self._worker.start()
+
+    def _setup_executor(self) -> None:
+        """Build the in-process executor.  The replicated supervisor
+        overrides this with a no-op — its forwards run in worker processes."""
+        if self.engine == "compiled":
+            from repro.graph.executor import CompiledModel
+
+            self._compiled: Optional["CompiledModel"] = CompiledModel(
+                self.model, fallback=self._fallback
+            )
+        else:
+            self._compiled = None
 
     # -- client surface --------------------------------------------------------
 
@@ -371,9 +377,13 @@ class BatchingServer:
             self._latency.append(seconds)
             del self._latency[:-_LATENCY_WINDOW]
 
+    def _fallback_count(self) -> int:
+        """Eager-degradation count; subclasses aggregate across replicas."""
+        return self._compiled.fallback_count if self._compiled is not None else 0
+
     def stats(self) -> ServerStats:
         """An immutable, internally consistent snapshot of the counters."""
-        fallbacks = self._compiled.fallback_count if self._compiled is not None else 0
+        fallbacks = self._fallback_count()
         with self._stats_lock:
             values = dict(self._counters)
         values["fallbacks"] = fallbacks
@@ -501,28 +511,56 @@ class BatchingServer:
         for request in live:
             groups.setdefault(request.image.shape, []).append(request)
         for _, group in sorted(groups.items()):
-            images = [request.image for request in group]
-            count = len(images)
-            padded_to = _bucket_size(count, self.max_batch)
-            if padded_to > count:
-                images = images + [images[-1]] * (padded_to - count)
-            try:
-                batch = np.stack(images, axis=0)
-                if self._compiled is not None:
-                    predictions = self._compiled.predict(batch)
-                else:
-                    predictions = self.model.predict(batch, engine="eager")
-            except BaseException as error:  # propagate to every caller in the group
-                self._count(failed=count)
-                for request in group:
-                    request.future.set_exception(error)
-                continue
-            done = time.monotonic()
-            self._count(batches=1, completed=count, padded_rows=padded_to - count)
-            self._observe_max_batch(count)
-            for index, request in enumerate(group):
-                self._record_latency(padded_to, done - request.enqueued)
-                request.future.set_result(predictions[index])
+            self._submit_group(group)
+
+    @staticmethod
+    def _pad_group(group: List[_Request], max_batch: int) -> Tuple[Any, int]:
+        """Stack one shape-group into its padded batch array.
+
+        Returns ``(batch, padded_to)``; padding repeats the last image up
+        to the power-of-two bucket so the compiled executor's signature
+        cache stays small.
+        """
+        images = [request.image for request in group]
+        count = len(images)
+        padded_to = _bucket_size(count, max_batch)
+        if padded_to > count:
+            images = images + [images[-1]] * (padded_to - count)
+        return np.stack(images, axis=0), padded_to
+
+    def _submit_group(self, group: List[_Request]) -> None:
+        """Answer one shape-group.  The base server executes inline; the
+        replicated supervisor overrides this to enqueue the padded batch
+        for a worker-process dispatcher instead."""
+        try:
+            batch, padded_to = self._pad_group(group, self.max_batch)
+            predictions = self._predict_batch(batch)
+        except BaseException as error:  # propagate to every caller in the group
+            self._fail_group(group, error)
+            return
+        self._finish_group(group, predictions, padded_to)
+
+    def _predict_batch(self, batch: Any) -> Any:
+        """One forward over a stacked batch via the configured engine."""
+        if self._compiled is not None:
+            return self._compiled.predict(batch)
+        return self.model.predict(batch, engine="eager")
+
+    def _finish_group(self, group: List[_Request], predictions: Any, padded_to: int) -> None:
+        """Account a served group and resolve its futures (padding dropped)."""
+        done = time.monotonic()
+        count = len(group)
+        self._count(batches=1, completed=count, padded_rows=padded_to - count)
+        self._observe_max_batch(count)
+        for index, request in enumerate(group):
+            self._record_latency(padded_to, done - request.enqueued)
+            request.future.set_result(predictions[index])
+
+    def _fail_group(self, group: List[_Request], error: BaseException) -> None:
+        """Fail every caller in a group with the same error."""
+        self._count(failed=len(group))
+        for request in group:
+            request.future.set_exception(error)
 
     def _serve_loop(self) -> None:
         try:

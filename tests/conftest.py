@@ -2,12 +2,34 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
 from repro.core.config import default_config
 from repro.core.pwl import fit_pwl, uniform_breakpoints
 from repro.functions.registry import get_function
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_chaos: sustained-load supervisor chaos scenarios; skipped "
+        "unless REPRO_SLOW_CHAOS=1 (the CI chaos job sets it) so the "
+        "tier-1 run stays fast",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if os.environ.get("REPRO_SLOW_CHAOS") == "1":
+        return
+    skip = pytest.mark.skip(
+        reason="slow chaos scenario; set REPRO_SLOW_CHAOS=1 to run"
+    )
+    for item in items:
+        if "slow_chaos" in item.keywords:
+            item.add_marker(skip)
 
 
 @pytest.fixture(scope="session")

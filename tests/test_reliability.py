@@ -62,6 +62,65 @@ class TestRetryPolicy:
             RetryPolicy(base_delay=-1.0)
         with pytest.raises(ValueError):
             RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(max_elapsed=-0.1)
+
+    def test_max_elapsed_cuts_the_attempt_budget_short(self):
+        # Fake clock: time only advances when the retry loop sleeps, so
+        # the elapsed-budget arithmetic is exact and the test takes 0s.
+        now = [0.0]
+        slept = []
+
+        def sleep(seconds):
+            slept.append(seconds)
+            now[0] += seconds
+
+        policy = RetryPolicy(
+            max_attempts=10, base_delay=1.0, multiplier=1.0, jitter=0.0,
+            max_elapsed=2.5,
+        )
+        outcome = run_with_retry(
+            lambda: (_ for _ in ()).throw(OSError("always")),
+            policy, site="budget", sleep=sleep, clock=lambda: now[0],
+        )
+        # Attempt 1 fails at t=0, sleeps 1s; attempt 2 fails at t=1,
+        # sleeps 1s; attempt 3 fails at t=2 — the next retry would start
+        # at t=3 > 2.5, so the budget stops it ahead of max_attempts.
+        assert not outcome.ok
+        assert outcome.attempts == 3
+        assert slept == [1.0, 1.0]
+        assert isinstance(outcome.error, OSError)
+
+    def test_zero_max_elapsed_means_no_retries(self):
+        calls = []
+
+        def failing():
+            calls.append(1)
+            raise OSError("transient")
+
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.5, jitter=0.0, max_elapsed=0.0
+        )
+        outcome = run_with_retry(
+            policy=policy, fn=failing, site="budget",
+            sleep=lambda _: None, clock=lambda: 0.0,
+        )
+        assert not outcome.ok
+        assert outcome.attempts == 1
+        assert len(calls) == 1
+
+    def test_max_elapsed_unset_leaves_attempts_in_charge(self):
+        now = [0.0]
+
+        def sleep(seconds):
+            now[0] += seconds
+
+        policy = RetryPolicy(max_attempts=4, base_delay=10.0, jitter=0.0)
+        outcome = run_with_retry(
+            lambda: (_ for _ in ()).throw(OSError("always")),
+            policy, site="budget", sleep=sleep, clock=lambda: now[0],
+        )
+        assert outcome.attempts == 4  # all attempts spent despite 30s "elapsed"
 
     def test_resolve_reads_engine_config(self):
         with engine_config.use(retry_attempts=5, retry_base_delay=0.25):
