@@ -19,7 +19,7 @@ of every non-linear operator — the "None" row of Tables 4/5), and
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, Iterable, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set
 
 from repro.backend import xp as np
 
@@ -372,17 +372,23 @@ def swap_lut_tables(
     previous table per name, so a failed rolling swap can restore them
     bit-exactly.  A name matching no module raises ``KeyError`` — a swap
     aimed at an operator the model does not deploy must fail loudly, not
-    silently serve the old table.
+    silently serve the old table.  The check runs *before* any module is
+    touched, so a rejected swap is atomic: either every named table is
+    live afterwards or none is.
     """
-    previous: Dict[str, PiecewiseLinear] = {}
+    matched: List = []
     for module in model.modules():
         if isinstance(module, (PWLActivation, PWLWideRange)) and module.name in tables:
-            old = module.swap_pwl(tables[module.name])
-            previous.setdefault(module.name, old)
-    unknown = sorted(set(tables) - set(previous))
+            matched.append(module)
+    deployed = {module.name for module in matched}
+    unknown = sorted(set(tables) - deployed)
     if unknown:
         raise KeyError(
             "no deployed pwl module named %s in the model "
-            "(deployed: %s)" % (unknown, sorted(previous))
+            "(deployed: %s)" % (unknown, sorted(deployed))
         )
+    previous: Dict[str, PiecewiseLinear] = {}
+    for module in matched:
+        old = module.swap_pwl(tables[module.name])
+        previous.setdefault(module.name, old)
     return previous

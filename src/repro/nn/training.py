@@ -78,6 +78,25 @@ def _checkpoint_digest(arrays: Dict[str, Any], meta_json: str) -> bytes:
     return digest.digest()
 
 
+def _fsync_directory(directory: Path) -> None:
+    """Persist a directory entry (the renamed checkpoint) across power loss.
+
+    Best-effort: platforms that cannot ``fsync`` a directory fd (or open
+    one at all) keep the process-crash atomicity guarantee and skip the
+    power-failure one.
+    """
+    try:
+        dir_fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(dir_fd)
+    except OSError:
+        pass
+    finally:
+        os.close(dir_fd)
+
+
 def save_checkpoint(
     path: Union[str, Path],
     model: Module,
@@ -93,8 +112,9 @@ def save_checkpoint(
     record (scalars: optimizer lr/step, schedule step, the numpy
     Generator state, caller ``extra``).  The whole payload is covered by
     a SHA-256 checksum.  The write goes to a temp file in the target
-    directory and is renamed into place, so a crash mid-save leaves the
-    previous checkpoint intact — never a torn file.
+    directory, is ``fsync``'d, and then renamed into place (with the
+    directory entry synced too), so a crash — or a power loss — mid-save
+    leaves the previous checkpoint intact, never a torn file.
     """
     fault_point("trainer.checkpoint")
     path = Path(path)
@@ -128,6 +148,11 @@ def save_checkpoint(
     try:
         with os.fdopen(fd, "wb") as handle:
             np.savez(handle, __meta__=meta_array, __checksum__=checksum, **arrays)
+            # The rename must not be reordered ahead of the data hitting
+            # disk, or a power loss could leave the *new* name pointing
+            # at torn bytes after the old checkpoint is already gone.
+            handle.flush()
+            os.fsync(handle.fileno())
         # Chaos hook: a torn write that still reached the final name —
         # load_checkpoint must refuse it, never resume from garbage.
         corrupt_file("trainer.checkpoint", tmp_name)
@@ -138,6 +163,7 @@ def save_checkpoint(
         except OSError:
             pass
         raise
+    _fsync_directory(path.parent)
     return path
 
 

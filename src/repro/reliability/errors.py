@@ -52,6 +52,9 @@ class ReplicaCrashLoopError(ReliabilityError):
 
     The supervisor's circuit breaker stops restarting the replica and
     marks it failed; ``health()`` reports the server as degraded.
+    Raised to the caller of a targeted command (swap) that was aimed at
+    a breaker-tripped slot — unlike :class:`ReplicaDiedError`, the slot
+    will never come back on its own.
     """
 
 

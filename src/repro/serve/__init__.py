@@ -20,6 +20,7 @@ from repro.reliability.errors import (
     DeadlineExceededError,
     NoHealthyReplicaError,
     QueueFullError,
+    ReplicaCrashLoopError,
     ReplicaDiedError,
     ServerClosedError,
     SwapFailedError,
@@ -33,6 +34,7 @@ __all__ = [
     "DeadlineExceededError",
     "NoHealthyReplicaError",
     "QueueFullError",
+    "ReplicaCrashLoopError",
     "ReplicaDiedError",
     "ServerClosedError",
     "ServerStats",

@@ -27,6 +27,9 @@ lock)::
   staleness (5x the heartbeat interval → SIGKILL + restart).  Pipe EOF
   is deliberately *not* trusted: later-forked siblings hold copies of an
   earlier replica's pipe ends, which keep the pipe open after it dies.
+  A serve loop that wedges while its heartbeat *thread* keeps beating is
+  caught by ``batch_timeout_s``: every pipe exchange has a hard
+  deadline, past which the replica is killed and its batch re-dispatched.
 * **Re-dispatch.**  Inference is pure, so a dead replica's in-flight
   batch is re-enqueued for a survivor instead of failing its callers —
   bit-identical answers, bounded by ``max_redispatch`` attempts.  Worker
@@ -39,16 +42,22 @@ lock)::
   status is ``failed``.
 * **Rolling hot-swap.**  :meth:`swap_state` validates the new state on
   the supervisor's reference model first (strict ``load_state_dict`` —
-  a bad dict fails before any replica is touched), computes the expected
-  canary prediction, then per replica: drain in-flight work → send the
-  swap → bit-compare the returned canary prediction → promote.  Any
-  mismatch or error rolls the reference model *and every
-  already-promoted replica* back to the old state (verifying the canary
-  in the rollback direction too) and raises ``SwapFailedError`` — the
-  fleet never serves two silently different models.  Restarts are
-  deferred while a swap is active; a replica that is DEAD during the
-  swap simply restarts afterwards by forking the (new or rolled-back)
-  reference model, which is always the promoted truth.
+  a bad dict fails before any replica is touched, and a validation
+  failure restores the old reference state before propagating, so a
+  shape mismatch that aborts the load mid-loop never leaves the
+  reference half-loaded), computes the expected canary prediction, then
+  per replica: drain in-flight work → send the swap → bit-compare the
+  returned canary prediction → promote.  Any mismatch or error rolls
+  the reference model *and every already-promoted replica* back to the
+  old state (verifying the canary in the rollback direction too) and
+  raises ``SwapFailedError`` — the fleet never serves two silently
+  different models.  Restarts are deferred while a swap is active; a
+  replica that is DEAD during the swap simply restarts afterwards by
+  forking the (new or rolled-back) reference model, which is always the
+  promoted truth.  A replica that *missed* the swap (still STARTING
+  when its turn came) carries a stale ``model_generation``: it is never
+  promoted to HEALTHY — the supervisor retires and respawns it from the
+  promoted reference instead, so a stale fork never takes traffic.
 
 Knobs resolve through :mod:`repro.core.engine_config`
 (``REPRO_SERVE_REPLICAS`` / ``REPRO_SERVE_HEARTBEAT_MS`` /
@@ -80,6 +89,7 @@ from repro.nn.approx import swap_lut_tables
 from repro.nn.module import Module
 from repro.reliability.errors import (
     NoHealthyReplicaError,
+    ReplicaCrashLoopError,
     ReplicaDiedError,
     ServerClosedError,
     SwapFailedError,
@@ -205,6 +215,12 @@ class ReplicatedServer(BatchingServer):
     max_redispatch:
         How many times one batch may be re-dispatched after replica
         deaths before its callers fail with ``ReplicaDiedError``.
+    batch_timeout_s:
+        Hard ceiling on one pipe exchange (batch or swap command).  A
+        replica whose serve loop wedges while its heartbeat thread keeps
+        beating never goes heartbeat-stale; this timeout is what catches
+        it — the replica is killed and the in-flight batch re-dispatched
+        to a survivor.
     """
 
     def __init__(
@@ -226,6 +242,7 @@ class ReplicatedServer(BatchingServer):
         swap_timeout_s: float = 30.0,
         start_timeout_s: float = 60.0,
         drain_timeout_s: float = 30.0,
+        batch_timeout_s: float = 60.0,
     ) -> None:
         if crash_loop_window_s <= 0:
             raise ValueError(
@@ -233,6 +250,10 @@ class ReplicatedServer(BatchingServer):
             )
         if max_redispatch < 1:
             raise ValueError("max_redispatch must be >= 1, got %r" % (max_redispatch,))
+        if batch_timeout_s <= 0:
+            raise ValueError(
+                "batch_timeout_s must be > 0, got %r" % (batch_timeout_s,)
+            )
         self._replica_count = resolve_serve_replicas(replicas)
         self._heartbeat_s = resolve_serve_heartbeat_ms(heartbeat_ms) / 1000.0
         self._heartbeat_stale_s = _HEARTBEAT_STALE_FACTOR * self._heartbeat_s
@@ -246,6 +267,7 @@ class ReplicatedServer(BatchingServer):
             else RetryPolicy(base_delay=0.05, multiplier=2.0, max_delay=2.0)
         )
         self.max_redispatch = max_redispatch
+        self._batch_timeout_s = batch_timeout_s
         self._swap_timeout_s = swap_timeout_s
         self._start_timeout_s = start_timeout_s
         self._drain_timeout_s = drain_timeout_s
@@ -263,6 +285,8 @@ class ReplicatedServer(BatchingServer):
             "replica_deaths": 0,
             "restarts": 0,
             "heartbeat_kills": 0,
+            "batch_timeouts": 0,
+            "stale_kills": 0,
             "redispatches": 0,
             "swaps": 0,
             "rollbacks": 0,
@@ -431,10 +455,23 @@ class ReplicatedServer(BatchingServer):
         old_expected = self._reference_predict(canary)
         # The reference model goes first: a state dict that does not
         # strict-load (or tables naming an undeployed operator) raises
-        # here, before any replica was touched.
-        self.model.load_state_dict(state, strict=True)
-        old_tables = swap_lut_tables(self.model, tables) if tables else None
-        new_expected = self._reference_predict(canary)
+        # here, before any replica was touched.  A failure restores the
+        # old state before propagating — a shape mismatch aborts the
+        # load mid-loop, and a half-loaded reference would fork diverged
+        # restarts while every replica still serves the old model.
+        # (``old_state`` is a full copy and ``swap_lut_tables`` is
+        # atomic, so the restore itself cannot tear.)
+        old_tables = None
+        try:
+            self.model.load_state_dict(state, strict=True)
+            if tables:
+                old_tables = swap_lut_tables(self.model, tables)
+            new_expected = self._reference_predict(canary)
+        except BaseException:
+            if old_tables:
+                swap_lut_tables(self.model, old_tables)
+            self.model.load_state_dict(old_state, strict=True)
+            raise
 
         promoted: List[_Replica] = []
         failure: Optional[BaseException] = None
@@ -552,9 +589,7 @@ class ReplicatedServer(BatchingServer):
         while not self._dispatch_stop.is_set():
             state = slot.state
             if state in (DEAD, FAILED):
-                self._flush_direct(
-                    slot, ReplicaDiedError("replica %d is %s" % (index, state))
-                )
+                self._flush_direct(slot, self._slot_down_error(slot, state))
                 if self._dispatch_stop.wait(self._poll_s):
                     return
                 continue
@@ -600,11 +635,21 @@ class ReplicatedServer(BatchingServer):
                 slot.last_heartbeat = time.monotonic()
                 slot.fallbacks = message[1]
             elif kind == MSG_READY:
+                stale = False
                 with self._rep_lock:
                     if slot.state == STARTING:
-                        slot.state = HEALTHY
-                        slot.last_heartbeat = time.monotonic()
-                        slot.first_crash = None
+                        if slot.model_generation != self._model_generation:
+                            # Forked from a reference that a swap has
+                            # since replaced: promoting it would serve
+                            # old weights next to the promoted fleet.
+                            stale = True
+                        else:
+                            slot.state = HEALTHY
+                            slot.last_heartbeat = time.monotonic()
+                            slot.first_crash = None
+                if stale:
+                    self._retire_stale(slot)
+                    return
             # Anything else is a stale reply from an aborted exchange; drop.
 
     def _execute_batch(self, slot: _Replica, work: _GroupWork) -> None:
@@ -635,11 +680,25 @@ class ReplicatedServer(BatchingServer):
             slot.in_flight = None
             slot.busy = False
 
+    def _slot_down_error(self, slot: _Replica, state: str) -> Exception:
+        """The error for a targeted command aimed at a non-serving slot.
+
+        A breaker-tripped slot gets :class:`ReplicaCrashLoopError` (it
+        will never restart on its own); everything else is a plain
+        :class:`ReplicaDiedError`.
+        """
+        if state == FAILED:
+            return ReplicaCrashLoopError(
+                "replica %d has tripped the crash-loop breaker (%s)"
+                % (slot.index, slot.reason or "no reason recorded")
+            )
+        return ReplicaDiedError("replica %d is %s" % (slot.index, state))
+
     def _execute_swap(self, slot: _Replica, command: _SwapCommand) -> None:
         if slot.state not in (HEALTHY, DRAINING):
             if not command.reply.done():
                 command.reply.set_exception(
-                    ReplicaDiedError("replica %d is %s" % (slot.index, slot.state))
+                    self._slot_down_error(slot, slot.state)
                 )
             return
         generation = slot.generation
@@ -682,8 +741,21 @@ class ReplicatedServer(BatchingServer):
 
         Returns ``None`` when the replica died (sentinel, pipe error, or
         a restart bumped the generation) — the caller re-dispatches.
+        ``batch_timeout_s`` bounds the whole exchange: a serve loop that
+        wedges while its heartbeat thread keeps beating never goes
+        heartbeat-stale, so past the deadline the replica is killed and
+        ``None`` returned (the batch re-dispatches like any other death).
         """
+        deadline = time.monotonic() + self._batch_timeout_s
         while True:
+            if time.monotonic() >= deadline:
+                self._count_sup(batch_timeouts=1)
+                self._kill_slot(
+                    slot,
+                    "batch execution exceeded %.1fs; killed"
+                    % self._batch_timeout_s,
+                )
+                return None
             try:
                 ready = conn.poll(self._poll_s)
             except (OSError, ValueError):
@@ -777,6 +849,19 @@ class ReplicatedServer(BatchingServer):
                     if state == STARTING and now - slot.started_at > self._start_timeout_s:
                         self._kill_slot(slot, "start timeout; killed")
                         continue
+                    if (
+                        state in (HEALTHY, DRAINING)
+                        and not self._swap_active
+                        and slot.model_generation != self._model_generation
+                    ):
+                        # A slot that slipped past a swap (e.g. it was
+                        # STARTING when its turn came) serves old weights
+                        # next to the promoted fleet; respawn it from the
+                        # promoted reference.  Guarded by _swap_active:
+                        # mid-swap, promoted slots legitimately run ahead
+                        # of the fleet generation.
+                        self._retire_stale(slot)
+                        continue
                 if (
                     state == DEAD
                     and not self._swap_active
@@ -823,6 +908,29 @@ class ReplicatedServer(BatchingServer):
                     % self._replica_count
                 )
             )
+
+    def _retire_stale(self, slot: _Replica) -> None:
+        """Kill a replica whose forked model predates the promoted one.
+
+        Not a crash: no death is recorded and the breaker is not
+        consulted — the slot respawns immediately (swap permitting),
+        forking the current reference model.  The state flips *before*
+        the SIGKILL so the dispatcher sees DEAD, not a dying pipe it
+        would report to the breaker as a crash.
+        """
+        with self._rep_lock:
+            if slot.state in (DEAD, FAILED):
+                return
+            slot.state = DEAD
+            slot.reason = "stale model generation %d != %d; respawning" % (
+                slot.model_generation,
+                self._model_generation,
+            )
+            slot.restart_at = time.monotonic()
+        process = slot.process
+        if process is not None and process.is_alive():
+            process.kill()
+        self._count_sup(stale_kills=1)
 
     def _kill_slot(self, slot: _Replica, reason: str) -> None:
         process = slot.process

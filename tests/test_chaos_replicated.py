@@ -232,6 +232,77 @@ class TestCrashRecovery:
                 assert health["status"] == "degraded"
                 assert health["supervisor"]["restarts"] == 0
 
+    def test_wedged_serve_loop_hits_batch_timeout(self, served_model):
+        """Replica 0's serve loop wedges mid-batch while its heartbeat
+        *thread* keeps beating — heartbeat staleness can never fire.
+        The batch deadline kills it and the batch re-dispatches to
+        replica 1; no accepted request is lost."""
+        images = make_images(4, seed=13)
+        reference = reference_for(served_model, images)
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    site="replica.batch:0",
+                    delay_calls=(1,),
+                    delay_seconds=30.0,
+                ),
+            )
+        )
+        with inject(plan):
+            with ReplicatedServer(
+                served_model, replicas=2, batch_timeout_s=0.5, **FAST
+            ) as server:
+                def wedged_and_recovered():
+                    if server.health()["supervisor"]["batch_timeouts"] >= 1:
+                        return True
+                    # Keep feeding until replica 0 receives a batch to
+                    # wedge on; every answered round stays bit-exact.
+                    results = server.predict_many(images, timeout=120)
+                    for got, want in zip(results, reference):
+                        np.testing.assert_array_equal(got, want)
+                    return server.health()["supervisor"]["batch_timeouts"] >= 1
+
+                assert wait_until(wedged_and_recovered, timeout=60.0)
+                health = server.health()
+                assert health["supervisor"]["redispatches"] >= 1
+                assert server.stats().failed == 0
+
+    def test_breaker_tripped_slot_rejects_targeted_commands(self, served_model):
+        """A command aimed at a slot the breaker has retired fails with
+        ReplicaCrashLoopError — unlike a plain death, the slot will
+        never come back on its own."""
+        from concurrent.futures import Future
+
+        from repro.reliability import ReplicaCrashLoopError
+        from repro.serve.supervisor import _SwapCommand
+
+        images = make_images(2, seed=14)
+        plan = FaultPlan(specs=(FaultSpec(site="replica.kill:0", fail_always=True),))
+        with inject(plan):
+            with ReplicatedServer(
+                served_model,
+                replicas=2,
+                crash_loop_threshold=2,
+                crash_loop_window_s=60.0,
+                **FAST,
+            ) as server:
+                def feed_until_failed():
+                    if server.health()["replicas"][0]["state"] == "failed":
+                        return True
+                    for image in images:
+                        server.predict(image, timeout=120)
+                    return server.health()["replicas"][0]["state"] == "failed"
+
+                assert wait_until(feed_until_failed, timeout=30.0)
+                reply = Future()
+                server._slots[0].direct.put(
+                    _SwapCommand(
+                        dict(served_model.state_dict()), None, images[0], reply
+                    )
+                )
+                with pytest.raises(ReplicaCrashLoopError):
+                    reply.result(timeout=30)
+
     def test_stalled_heartbeat_is_killed_and_restarted(self, served_model):
         """Replica 0's heartbeat thread hangs (process alive, wedged):
         the monitor SIGKILLs it; replica 1 serves throughout."""

@@ -9,6 +9,7 @@ rolling hot-swap.  Crash/chaos behaviour lives in
 """
 
 import json
+import time
 
 import numpy as np
 import pytest
@@ -108,6 +109,8 @@ class TestReplicatedServer:
                 "replica_deaths",
                 "restarts",
                 "heartbeat_kills",
+                "batch_timeouts",
+                "stale_kills",
                 "redispatches",
                 "swaps",
                 "rollbacks",
@@ -145,6 +148,8 @@ class TestReplicatedServer:
             ReplicatedServer(served_model, crash_loop_window_s=0.0)
         with pytest.raises(ValueError):
             ReplicatedServer(served_model, max_redispatch=0)
+        with pytest.raises(ValueError):
+            ReplicatedServer(served_model, batch_timeout_s=0.0)
 
 
 class TestHotSwap:
@@ -193,6 +198,85 @@ class TestHotSwap:
         with ReplicatedServer(served_model, replicas=1, max_wait_ms=1.0) as server:
             with pytest.raises(ValueError, match="canary"):
                 server.swap_state(dict(served_model.state_dict()))
+
+    def test_failed_validation_restores_the_reference_model(self, served_model):
+        """A state with matching keys but one bad shape aborts the strict
+        load *mid-loop*, after earlier params were already overwritten.
+        The reference model must come back bit-exact — a half-loaded
+        reference would fork diverged restarts while the replicas still
+        serve the old model."""
+        images = make_images(4)
+        reference = [served_model.predict(im[None], engine="eager")[0] for im in images]
+        bad_state = {
+            name: np.asarray(value) + 1.0
+            for name, value in served_model.state_dict().items()
+        }
+        last = list(bad_state)[-1]  # loaded last: everything before it mutates
+        bad_state[last] = np.zeros(np.asarray(bad_state[last]).shape + (2,))
+        with ReplicatedServer(
+            served_model, replicas=1, max_wait_ms=1.0, canary=images[0]
+        ) as server:
+            with pytest.raises(ValueError, match="shape mismatch"):
+                server.swap_state(bad_state)
+            restored = [
+                served_model.predict(im[None], engine="eager")[0] for im in images
+            ]
+            for got, want in zip(restored, reference):
+                np.testing.assert_array_equal(got, want)
+            # Unknown LUT names are rejected the same way: the state load
+            # that preceded the table check is rolled back too.
+            with pytest.raises(KeyError, match="nope"):
+                server.swap_state(
+                    dict(served_model.state_dict()), lut_tables={"nope": None}
+                )
+            restored = [
+                served_model.predict(im[None], engine="eager")[0] for im in images
+            ]
+            for got, want in zip(restored, reference):
+                np.testing.assert_array_equal(got, want)
+            health = server.health()
+            assert health["supervisor"]["swaps"] == 0
+            assert health["model_generation"] == 0
+
+    def test_stale_generation_replica_is_retired_not_promoted(self, served_model):
+        """A replica left behind by a swap (its slot still runs the
+        pre-swap fork once the fleet's generation moves on) must be
+        respawned from the promoted reference, never allowed to serve
+        stale weights next to the new fleet."""
+        images = make_images(4)
+        reference = [served_model.predict(im[None], engine="eager")[0] for im in images]
+        with ReplicatedServer(
+            served_model, replicas=2, max_wait_ms=1.0, canary=images[0]
+        ) as server:
+            server.predict_many(images, timeout=120)  # both replicas up
+            # Simulate a completed swap that slot 0 missed: the fleet
+            # generation advanced while slot 0 stayed on generation 0.
+            # (The reference model is unchanged, so the respawned fork
+            # must keep answering bit-identically.)
+            server._model_generation += 1
+            server._slots[1].model_generation += 1
+
+            def retired_and_respawned():
+                entry = server.health()["replicas"][0]
+                return (
+                    entry["state"] == "healthy"
+                    and entry["model_generation"] == server._model_generation
+                )
+
+            deadline = time.monotonic() + 30.0
+            while not retired_and_respawned():
+                assert time.monotonic() < deadline, (
+                    "stale replica was never retired: %r" % server.health()
+                )
+                time.sleep(0.02)
+            health = server.health()
+            assert health["supervisor"]["stale_kills"] >= 1
+            # Not a crash: the breaker was never consulted.
+            assert health["supervisor"]["replica_deaths"] == 0
+            assert health["replicas"][0]["crashes_in_window"] == 0
+            results = server.predict_many(images, timeout=120)
+            for got, want in zip(results, reference):
+                np.testing.assert_array_equal(got, want)
 
     def test_bad_state_dict_fails_before_touching_the_fleet(self, served_model):
         images = make_images(4)
@@ -245,3 +329,15 @@ class TestSwapLutTables:
         module, pwl = self._named_pwl_module()
         with pytest.raises(KeyError, match="softmax"):
             swap_lut_tables(module, {"softmax": pwl})
+
+    def test_rejected_swap_touches_nothing(self):
+        """One known and one unknown name: the whole swap is refused
+        atomically — the known module keeps its old table, so a rejected
+        rolling swap never needs a table rollback."""
+        module, _ = self._named_pwl_module(entries=8)
+        _, new_pwl = self._named_pwl_module(entries=16)
+        x = np.linspace(-3.0, 3.0, 64)
+        before = self._forward(module, x)
+        with pytest.raises(KeyError, match="softmax"):
+            swap_lut_tables(module, {"gelu": new_pwl, "softmax": new_pwl})
+        np.testing.assert_array_equal(self._forward(module, x), before)
