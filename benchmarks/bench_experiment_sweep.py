@@ -81,13 +81,19 @@ def bench_parallel(
     per_experiment: Dict[str, List[ApproximationJob]],
     store_dir: Path,
     workers: int,
+    run_dir: Optional[Path] = None,
 ) -> dict:
-    """One deduplicated engine pass over the union, then per-experiment pulls."""
+    """One deduplicated engine pass over the union, then per-experiment pulls.
+
+    With ``run_dir`` the prefetch batch is journaled (durable, resumable);
+    journaling never changes which cells build or what they produce, so
+    the recorded numbers are comparable either way.
+    """
     engine = SweepEngine(cache=ArtifactCache(store=ArtifactStore(store_dir)))
     union = [job for jobs in per_experiment.values() for job in jobs]
 
     start = time.perf_counter()
-    engine.run(union, workers=workers)
+    engine.run(union, workers=workers, run_dir=run_dir)
     prefetch_seconds = time.perf_counter() - start
     prefetch = engine.last_run
 
@@ -157,6 +163,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="process count for the parallel pass (default: cpu count)")
     parser.add_argument("--artifact-dir", type=Path, default=None,
                         help="persistent artifact store (default: a throwaway temp dir)")
+    parser.add_argument("--run-dir", type=Path, default=None,
+                        help="journal the parallel pass into this durable run "
+                             "directory (resumable; recorded numbers unchanged)")
     parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
     parser.add_argument(
         "--min-speedup",
@@ -190,7 +199,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     try:
         sequential = bench_sequential(per_experiment)
-        parallel = bench_parallel(per_experiment, store_dir, workers)
+        parallel = bench_parallel(per_experiment, store_dir, workers,
+                                  run_dir=args.run_dir)
         identical = check_identical(sequential, parallel)
         warm = bench_warm(per_experiment, store_dir)
     finally:

@@ -1,0 +1,269 @@
+"""Sweep-resilience benchmark: SIGKILL-resume and scrub-heal SLOs.
+
+Two chaos phases over the durable sweep machinery (PR 8), each gated on an
+all-or-nothing semantic flag rather than a timing:
+
+1. **kill_resume** — a coordinator child process runs a journaled pool
+   sweep (its builds slowed by an injected delay so the parent reliably
+   catches it mid-flight) and is SIGKILLed after the journal shows
+   progress.  A fresh engine then resumes from the ``run_dir``:
+
+   * ``zero_rebuilds`` — no cell the dead coordinator had journaled as
+     ``done`` was rebuilt (the resume's build count is bounded by the
+     remaining cells);
+   * ``identical_results`` — every resumed artifact is bit-identical to
+     an uninterrupted run's;
+   * ``resume_seconds`` — journal replay + finishing the remaining cells
+     (the only timing the parity guard gates).
+
+2. **scrub** — one artifact gets a bit flipped in place.  ``scrub()``
+   must detect it (``detected``), move it aside, and the next access must
+   self-heal by recomputing (``healed`` — bit-identical to the original);
+   a second scrub proves the store is clean again (``post_heal_corrupt``
+   == 0).
+
+Results are written to ``BENCH_sweep_resilience.json`` at the repository
+root; ``check_bench_parity.py`` gates the semantic flags exactly and
+``resume_seconds`` within noise.  The default run fails (exit 1) if any
+SLO flag is false; ``--smoke`` shrinks the grid for CI but keeps every
+assertion.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_resilience.py
+    PYTHONPATH=src python benchmarks/bench_sweep_resilience.py \
+        --smoke --output /tmp/resilience.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.experiments import ApproximationBudget, ApproximationJob, approximation_jobs
+from repro.experiments.artifacts import ArtifactCache, ArtifactStore
+from repro.experiments.jobs import SweepEngine
+
+DEFAULT_OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_sweep_resilience.json"
+SRC_DIR = Path(__file__).resolve().parent.parent / "src"
+
+# The coordinator the kill phase SIGKILLs: a durable pool sweep whose
+# builds carry an injected delay, propagated to the workers via the env.
+_COORDINATOR = """\
+import sys
+from repro.experiments.jobs import SweepEngine, approximation_jobs
+from repro.experiments.methods import ApproximationBudget
+from repro.reliability import FaultPlan, FaultSpec, inject
+
+run_dir, delay = sys.argv[1], float(sys.argv[2])
+operators = sys.argv[3].split(",")
+methods = sys.argv[4].split(",")
+plan = FaultPlan(specs=(
+    FaultSpec(site="sweep.build:*", delay_always=True, delay_seconds=delay),
+))
+jobs = approximation_jobs(operators, methods, budget=ApproximationBudget.quick())
+engine = SweepEngine(run_dir=run_dir)
+with inject(plan, propagate=True):
+    engine.run_manifest(jobs, workers=2)
+"""
+
+
+def pwl_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.breakpoints, b.breakpoints)
+        and np.array_equal(a.slopes, b.slopes)
+        and np.array_equal(a.intercepts, b.intercepts)
+    )
+
+
+def journal_done_count(run_dir: Path) -> int:
+    journal = run_dir / "journal.jsonl"
+    if not journal.exists():
+        return 0
+    return sum(
+        1 for line in journal.read_text().splitlines()
+        if line and json.loads(line).get("type") == "done"
+    )
+
+
+def bench_kill_resume(
+    operators: List[str], methods: List[str], work_dir: Path, delay: float
+) -> dict:
+    budget = ApproximationBudget.quick()
+    jobs = approximation_jobs(operators, methods, budget=budget)
+    unique = len({job.key for job in jobs})
+    run_dir = work_dir / "run"
+    script = work_dir / "coordinator.py"
+    script.write_text(_COORDINATOR)
+
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    start = time.perf_counter()
+    child = subprocess.Popen(
+        [
+            sys.executable, str(script), str(run_dir), str(delay),
+            ",".join(operators), ",".join(methods),
+        ],
+        env=env, start_new_session=True,
+        stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+    )
+    try:
+        deadline = time.monotonic() + 180.0
+        while journal_done_count(run_dir) < 1:
+            if child.poll() is not None:
+                break  # finished before the kill: resume still must hold
+            if time.monotonic() > deadline:
+                raise RuntimeError("coordinator made no progress within 180s")
+            time.sleep(0.01)
+    finally:
+        killed = child.poll() is None
+        if killed:
+            os.killpg(child.pid, signal.SIGKILL)
+        child.wait()
+    kill_seconds = time.perf_counter() - start
+
+    done_before = journal_done_count(run_dir)
+
+    resume_engine = SweepEngine()
+    start = time.perf_counter()
+    resumed = resume_engine.resume(run_dir, workers=0)
+    resume_seconds = time.perf_counter() - start
+    resume_engine.close()
+
+    clean = SweepEngine().run(jobs, workers=0)
+    identical = (
+        resumed.ok
+        and set(resumed.results) == set(clean)
+        and all(pwl_equal(resumed.results[key], clean[key]) for key in clean)
+    )
+    builds_after = resumed.stats.builds
+    zero_rebuilds = builds_after <= unique - done_before
+
+    return {
+        "cells": unique,
+        "injected_delay_seconds": delay,
+        "killed_mid_run": killed,
+        "done_before_kill": done_before,
+        "builds_after_resume": builds_after,
+        "cache_hits_after_resume": resumed.stats.cache_hits,
+        "kill_seconds": kill_seconds,
+        "resume_seconds": resume_seconds,
+        "zero_rebuilds": zero_rebuilds,
+        "identical_results": identical,
+    }
+
+
+def bench_scrub(work_dir: Path) -> dict:
+    budget = ApproximationBudget.quick()
+    job = ApproximationJob("gelu", "gqa-rm", 8, budget)
+    store_dir = work_dir / "store"
+    store = ArtifactStore(store_dir)
+    engine = SweepEngine(cache=ArtifactCache(store=store))
+    original = engine.build(job)
+
+    path = store.path_for(job.key)
+    payload = bytearray(path.read_bytes())
+    payload[len(payload) // 2] ^= 0xFF
+    path.write_bytes(bytes(payload))
+
+    start = time.perf_counter()
+    report = store.scrub()
+    scrub_seconds = time.perf_counter() - start
+    detected = report.corrupt
+
+    healer = SweepEngine(cache=ArtifactCache(store=ArtifactStore(store_dir)))
+    start = time.perf_counter()
+    rebuilt = healer.build(job)
+    heal_seconds = time.perf_counter() - start
+    healed = int(healer.stats.builds == 1 and pwl_equal(rebuilt, original))
+
+    post = ArtifactStore(store_dir).scrub()
+
+    return {
+        "detected": detected,
+        "quarantined": len(report.quarantined),
+        "healed": healed,
+        "post_heal_corrupt": post.corrupt,
+        "post_heal_ok": post.ok,
+        "scrub_seconds": scrub_seconds,
+        "heal_seconds": heal_seconds,
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", type=Path, default=DEFAULT_OUTPUT)
+    parser.add_argument("--delay", type=float, default=0.5,
+                        help="injected per-build delay in the killed coordinator")
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller grid for CI; every SLO still asserted")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        operators, methods = ["exp", "gelu"], ["nn-lut", "gqa-wo-rm"]
+    else:
+        operators, methods = ["exp", "gelu", "div", "rsqrt"], ["nn-lut", "gqa-wo-rm"]
+
+    work_dir = Path(tempfile.mkdtemp(prefix="repro-resilience-"))
+    try:
+        kill_resume = bench_kill_resume(operators, methods, work_dir, args.delay)
+        scrub = bench_scrub(work_dir)
+    finally:
+        shutil.rmtree(work_dir, ignore_errors=True)
+
+    report = {
+        "benchmark": "sweep_resilience",
+        "config": {
+            "smoke": args.smoke,
+            "operators": operators,
+            "methods": methods,
+            "delay_seconds": args.delay,
+        },
+        "environment": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "machine": platform.machine(),
+            "cpu_count": os.cpu_count(),
+        },
+        "kill_resume": kill_resume,
+        "scrub": scrub,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+
+    print("kill+resume: %d cells, %d done before SIGKILL, %d built on resume "
+          "(%.2fs) — zero_rebuilds=%s identical=%s"
+          % (kill_resume["cells"], kill_resume["done_before_kill"],
+             kill_resume["builds_after_resume"], kill_resume["resume_seconds"],
+             kill_resume["zero_rebuilds"], kill_resume["identical_results"]))
+    print("scrub: detected=%d healed=%d post_heal_corrupt=%d (scrub %.3fs)"
+          % (scrub["detected"], scrub["healed"], scrub["post_heal_corrupt"],
+             scrub["scrub_seconds"]))
+    print("wrote %s" % args.output)
+
+    slos = (
+        kill_resume["zero_rebuilds"],
+        kill_resume["identical_results"],
+        scrub["detected"] == 1,
+        scrub["healed"] == 1,
+        scrub["post_heal_corrupt"] == 0,
+    )
+    if not all(slos):
+        print("FAIL: a resilience SLO was violated")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

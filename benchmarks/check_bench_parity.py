@@ -66,6 +66,15 @@ EXACT_KEYS = (
     ("swap", "zero_dropped"),
     ("swap", "no_mixed_responses"),
     ("swap", "identical_after_swap"),
+    # Sweep-resilience benchmark (bench_sweep_resilience.py): a SIGKILLed
+    # durable sweep resumes with zero completed cells rebuilt and
+    # bit-identical artifacts, and a scrub pass detects an injected
+    # bit-flip, heals it on the next access, and leaves the store clean.
+    ("kill_resume", "zero_rebuilds"),
+    ("kill_resume", "identical_results"),
+    ("scrub", "detected"),
+    ("scrub", "healed"),
+    ("scrub", "post_heal_corrupt"),
 )
 
 # (section, key) fast-path timings gated by the noise tolerance.
@@ -85,6 +94,9 @@ TIMING_KEYS = (
     # but never gated — the container is frequently single-core.
     ("kill", "p99_seconds"),
     ("swap", "p99_seconds"),
+    # Journal replay + finish time for the resumed sweep
+    # (bench_sweep_resilience.py); the kill phase itself is not gated.
+    ("kill_resume", "resume_seconds"),
 )
 
 

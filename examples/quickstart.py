@@ -14,7 +14,10 @@ This is the 60-second tour of the library:
 6. deploy the searched pwl inside a segmentation model and predict
    through the compiled inference engine (traced once, then replayed),
 7. hot-swap a re-searched LUT into a live replicated fleet — the canary
-   gate verifies each replica bit-for-bit before promoting it.
+   gate verifies each replica bit-for-bit before promoting it,
+8. make a sweep durable with a ``run_dir`` — kill the process at any
+   instant and ``SweepEngine.resume`` finishes the grid from the journal
+   without rebuilding a single completed cell.
 
 Run with::
 
@@ -106,6 +109,37 @@ def main() -> None:
               % (report["swapped"], report["model_generation"],
                  np.array_equal(served, expected)))
         fleet.drain(timeout=30.0)  # graceful: outstanding work finishes first
+
+    # 7. Kill-and-resume: give a sweep a run_dir and every cell transition
+    #    is journaled (fsync'd, torn-tail tolerant) while artifacts land
+    #    in a content-addressed store under run_dir/artifacts.  We mimic a
+    #    crash by abandoning the engine halfway through the grid; a fresh
+    #    process then resumes from the journal alone — completed cells are
+    #    answered from the store (bit-identical, zero rebuilds) — and the
+    #    rest of the grid reuses the same run_dir, building only what is
+    #    missing.
+    import tempfile
+    from pathlib import Path
+
+    from repro.experiments import ApproximationBudget, SweepEngine, approximation_jobs
+
+    run_dir = Path(tempfile.mkdtemp(prefix="quickstart-")) / "grid-0"
+    grid = approximation_jobs(("gelu", "exp"), ("nn-lut", "gqa-rm"),
+                              budget=ApproximationBudget.quick())
+
+    interrupted = SweepEngine(run_dir=run_dir)
+    interrupted.run_manifest(grid[:2])          # ... SIGKILL lands here ...
+    interrupted.close()                          # (simulated crash)
+
+    resumed = SweepEngine().resume(run_dir)      # journal -> remaining work
+    print("\nresume after crash: %d cells from the store, %d rebuilt -> ok=%s"
+          % (resumed.stats.cache_hits, resumed.stats.builds, resumed.ok))
+
+    finished = SweepEngine(run_dir=run_dir)
+    full = finished.run_manifest(grid)           # the full grid, same run_dir
+    print("full grid over the same run_dir: %d rebuilt (everything durable)"
+          % full.stats.builds)
+    finished.close()
 
 
 if __name__ == "__main__":

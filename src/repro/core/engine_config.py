@@ -58,6 +58,8 @@ INFER_ENGINES: Tuple[str, ...] = ("eager", "compiled")
 GA_ENGINE_ENV = "REPRO_GA_ENGINE"
 PWL_ENGINE_ENV = "REPRO_PWL_ENGINE"
 SWEEP_WORKERS_ENV = "REPRO_SWEEP_WORKERS"
+SWEEP_RUN_DIR_ENV = "REPRO_SWEEP_RUN_DIR"
+SWEEP_LEASE_S_ENV = "REPRO_SWEEP_LEASE_S"
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
@@ -78,6 +80,14 @@ class EngineConfig:
     sweep_workers: int = 0
     artifact_dir: Optional[str] = None
     infer_engine: str = "eager"
+    # Durable-sweep knobs (PR 8): ``sweep_run_dir`` makes every
+    # ``SweepEngine.run_manifest`` journal its cell state under that
+    # directory (crash-safe resume via ``SweepEngine.resume``);
+    # ``sweep_lease_s`` is the work-queue lease / visibility timeout — a
+    # leased cell whose coordinator dies becomes re-leasable this many
+    # seconds after its last heartbeat renewal.
+    sweep_run_dir: Optional[str] = None
+    sweep_lease_s: float = 30.0
     # Reliability knobs (PR 6): sweep/store retry defaults and the serving
     # tier's admission-control defaults.  ``retry_attempts`` counts total
     # attempts (1 = no retry); ``serve_queue_limit`` 0 means unbounded;
@@ -100,6 +110,10 @@ class EngineConfig:
         check_infer_engine(self.infer_engine)
         if self.sweep_workers < 0:
             raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
+        if self.sweep_lease_s <= 0:
+            raise ValueError(
+                "sweep_lease_s must be > 0, got %r" % (self.sweep_lease_s,)
+            )
         if self.retry_attempts < 1:
             raise ValueError("retry_attempts must be >= 1, got %r" % (self.retry_attempts,))
         if self.retry_base_delay < 0:
@@ -181,10 +195,14 @@ def _env_layer() -> Dict[str, Any]:
     directory = os.environ.get(ARTIFACT_DIR_ENV)
     if directory:
         layer["artifact_dir"] = directory
+    run_dir = os.environ.get(SWEEP_RUN_DIR_ENV)
+    if run_dir:
+        layer["sweep_run_dir"] = run_dir
     infer = os.environ.get(INFER_ENGINE_ENV)
     if infer:
         layer["infer_engine"] = infer
     for env, field, convert in (
+        (SWEEP_LEASE_S_ENV, "sweep_lease_s", float),
         (RETRY_ATTEMPTS_ENV, "retry_attempts", int),
         (RETRY_BASE_DELAY_ENV, "retry_base_delay", float),
         (SERVE_QUEUE_LIMIT_ENV, "serve_queue_limit", int),
@@ -265,6 +283,26 @@ def resolve_artifact_dir(override: Optional[str] = None) -> Optional[str]:
     if override is not None:
         return override
     return current().artifact_dir
+
+
+def resolve_sweep_run_dir(override: Optional[str] = None) -> Optional[str]:
+    """Durable sweep run directory: kwarg > context > env > none.
+
+    ``None`` means sweeps stay process-lifetime objects (no journal); any
+    directory makes every ``run_manifest`` crash-safe and resumable.
+    """
+    if override is not None:
+        return override
+    return current().sweep_run_dir
+
+
+def resolve_sweep_lease_s(override: Optional[float] = None) -> float:
+    """Work-queue lease timeout (seconds): kwarg > context > env > ``30``."""
+    if override is not None:
+        if override <= 0:
+            raise ValueError("lease timeout must be > 0, got %r" % (override,))
+        return float(override)
+    return current().sweep_lease_s
 
 
 def resolve_infer_engine(override: Optional[str] = None) -> str:

@@ -21,7 +21,12 @@ from repro.experiments.methods import (
     compute_approximation,
     METHODS,
 )
-from repro.experiments.artifacts import ArtifactCache, ArtifactStore
+from repro.experiments.artifacts import (
+    ArtifactCache,
+    ArtifactStore,
+    GCReport,
+    ScrubReport,
+)
 from repro.experiments.jobs import (
     ApproximationJob,
     JobFailure,
@@ -32,6 +37,7 @@ from repro.experiments.jobs import (
     default_engine,
     set_default_engine,
 )
+from repro.experiments.queue import CellRecord, DurableQueue
 from repro.experiments.fig2 import (
     run_fig2,
     run_fig2a,
@@ -60,7 +66,11 @@ __all__ = [
     "ApproximationJob",
     "ArtifactCache",
     "ArtifactStore",
+    "CellRecord",
+    "DurableQueue",
+    "GCReport",
     "JobFailure",
+    "ScrubReport",
     "SweepEngine",
     "SweepResult",
     "SweepStats",

@@ -10,9 +10,24 @@ by a stable content hash of the job description (see
 
 * **memory** — a plain in-process dict, shared by every experiment runner
   that goes through the same :class:`~repro.experiments.jobs.SweepEngine`;
-* **disk** (optional) — one ``<key>.npz`` per artifact holding the pwl's
+* **disk** (optional) — one ``.npz`` per artifact holding the pwl's
   breakpoints/slopes/intercepts, so table, figure and benchmark invocations
   in *different* processes share results too.
+
+On-disk layout (PR 8): artifacts **fan out into key-sharded directories**
+(``ab/abcd1234….npz``, shard = first two hex chars of the key) so a
+10-100x grid never lands a hundred thousand files in one directory.  The
+flat pre-shard layout is still read transparently, and
+:meth:`ArtifactStore.rebuild_manifest` migrates it in place — including
+embedding content checksums into checksum-less legacy files.  Each shard
+carries a ``MANIFEST.json`` (entry count + per-key checksums) rebuilt by
+the same pass; :meth:`ArtifactStore.gc` removes orphaned temp files and
+unreferenced entries (age-gated, so a gc pass racing a live writer never
+deletes a just-committed artifact); :meth:`ArtifactStore.scrub` is the
+integrity sweep — it verifies every embedded SHA-256, moves corrupt files
+into a ``quarantine/`` directory, and thereby arranges self-healing: the
+next access misses, recomputes the seeded cell, and rewrites a valid
+artifact.
 
 The disk store is deliberately forgiving: a missing, truncated or otherwise
 unreadable artifact is treated as a miss and the cell is recomputed (and the
@@ -26,14 +41,18 @@ so a reader racing a writer only ever sees a complete old or new file.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
+import json
 import os
+import re
 import struct
 import tempfile
+import time
 import zipfile
 import zlib
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
@@ -54,6 +73,13 @@ _READ_ERRORS = (
     struct.error,
 )
 
+# Shard directories are the first SHARD_CHARS hex chars of the key.
+SHARD_CHARS = 2
+_SHARD_RE = re.compile(r"^[0-9a-f]{%d}$" % SHARD_CHARS)
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT_VERSION = 1
+QUARANTINE_DIR = "quarantine"
+
 
 def _content_digest(arrays: Dict[str, np.ndarray]) -> bytes:
     """SHA-256 over shapes + bytes of the pwl arrays, field order fixed."""
@@ -64,6 +90,26 @@ def _content_digest(arrays: Dict[str, np.ndarray]) -> bytes:
         digest.update(repr(array.shape).encode("ascii"))
         digest.update(array.tobytes())
     return digest.digest()
+
+
+@dataclasses.dataclass
+class ScrubReport:
+    """Outcome of one :meth:`ArtifactStore.scrub` integrity sweep."""
+
+    scanned: int = 0
+    ok: int = 0
+    corrupt: int = 0
+    missing_checksum: int = 0
+    quarantined: List[str] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class GCReport:
+    """Outcome of one :meth:`ArtifactStore.gc` pass."""
+
+    tmp_removed: int = 0
+    unreferenced_removed: int = 0
+    kept_recent: int = 0
 
 
 class ArtifactStore:
@@ -85,24 +131,74 @@ class ArtifactStore:
         # missing file.  Exposed for health reporting and the chaos tests.
         self.corrupt_reads = 0
 
+    # -- layout ----------------------------------------------------------
+
+    def shard_for(self, key: str) -> str:
+        """The shard directory name owning ``key``."""
+        return key[:SHARD_CHARS]
+
     def path_for(self, key: str) -> Path:
-        """The artifact file backing ``key``."""
+        """The (sharded) artifact file backing ``key``."""
+        return self.directory / self.shard_for(key) / ("%s.npz" % key)
+
+    def legacy_path_for(self, key: str) -> Path:
+        """Where the pre-shard flat layout kept ``key``."""
         return self.directory / ("%s.npz" % key)
+
+    def _resolve(self, key: str) -> Optional[Path]:
+        """The existing file for ``key`` — sharded wins over legacy flat."""
+        sharded = self.path_for(key)
+        if sharded.exists():
+            return sharded
+        legacy = self.legacy_path_for(key)
+        if legacy.exists():
+            return legacy
+        return None
+
+    def _shard_dirs(self) -> List[Path]:
+        return sorted(
+            child for child in self.directory.iterdir()
+            if child.is_dir() and _SHARD_RE.match(child.name)
+        )
+
+    def _artifact_files(self) -> List[Path]:
+        """Every artifact file, sharded then flat, sorted for determinism."""
+        files: List[Path] = []
+        for shard in self._shard_dirs():
+            files.extend(sorted(shard.glob("*.npz")))
+        files.extend(sorted(self.directory.glob("*.npz")))
+        return files
+
+    def keys(self) -> list:
+        """Keys of every (syntactically valid) artifact currently on disk."""
+        return sorted({path.stem for path in self._artifact_files()})
+
+    def manifest_path(self, shard: str) -> Path:
+        return self.directory / shard / MANIFEST_NAME
+
+    # -- read / write ----------------------------------------------------
+
+    def _read_arrays(
+        self, path: Path
+    ) -> Tuple[Dict[str, np.ndarray], Optional[bytes]]:
+        """Raw arrays + embedded checksum (``None`` for legacy files)."""
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {field: np.asarray(data[field]) for field in _ARRAY_FIELDS}
+            checksum = (
+                np.asarray(data["checksum"]).tobytes()
+                if "checksum" in data.files
+                else None
+            )
+        return arrays, checksum
 
     def load(self, key: str) -> Optional[PiecewiseLinear]:
         """Read an artifact; ``None`` on miss *or* on a corrupted file."""
-        path = self.path_for(key)
-        if not path.exists():
+        path = self._resolve(key)
+        if path is None:
             return None
         fault_point("artifact.load")
         try:
-            with np.load(path, allow_pickle=False) as data:
-                arrays = {field: np.asarray(data[field]) for field in _ARRAY_FIELDS}
-                checksum = (
-                    np.asarray(data["checksum"]).tobytes()
-                    if "checksum" in data.files
-                    else None
-                )
+            arrays, checksum = self._read_arrays(path)
             if checksum is not None and checksum != _content_digest(arrays):
                 self.corrupt_reads += 1
                 return None
@@ -116,11 +212,12 @@ class ArtifactStore:
             return None
 
     def save(self, key: str, pwl: PiecewiseLinear) -> Path:
-        """Write an artifact atomically (write-to-temp + rename)."""
+        """Write an artifact atomically (write-to-temp + rename), sharded."""
         fault_point("artifact.save")
         path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
-            prefix=".%s-" % key[:16], suffix=".npz.tmp", dir=str(self.directory)
+            prefix=".%s-" % key[:16], suffix=".npz.tmp", dir=str(path.parent)
         )
         try:
             arrays = {
@@ -143,9 +240,189 @@ class ArtifactStore:
             raise
         return path
 
-    def keys(self) -> list:
-        """Keys of every (syntactically valid) artifact currently on disk."""
-        return [p.stem for p in sorted(self.directory.glob("*.npz"))]
+    # -- manifest / migration --------------------------------------------
+
+    def rebuild_manifest(self) -> Dict[str, int]:
+        """Migrate the layout in place, then rewrite every shard manifest.
+
+        Flat pre-shard artifacts move into their shard directory; legacy
+        checksum-less files are rewritten through :meth:`save` so the
+        content checksum gets embedded (the arrays are preserved bitwise —
+        only the container changes).  Unreadable flat files are left where
+        they are for :meth:`scrub` to quarantine.  Afterwards each shard's
+        ``MANIFEST.json`` records its entry count and per-key checksums
+        (atomic write), giving integrity tooling a ground truth that does
+        not require opening every ``.npz``.
+        """
+        migrated = 0
+        unreadable = 0
+        for path in sorted(self.directory.glob("*.npz")):
+            key = path.stem
+            try:
+                arrays, checksum = self._read_arrays(path)
+            except _READ_ERRORS:
+                unreadable += 1
+                continue
+            if checksum is None:
+                # Legacy artifact: rewrite sharded with the checksum
+                # embedded, then retire the flat file.
+                self.save(key, PiecewiseLinear(**arrays))
+                path.unlink()
+            else:
+                target = self.path_for(key)
+                target.parent.mkdir(parents=True, exist_ok=True)
+                os.replace(path, target)
+            migrated += 1
+
+        entries_total = 0
+        shards = 0
+        for shard_dir in self._shard_dirs():
+            entries: Dict[str, str] = {}
+            for artifact in sorted(shard_dir.glob("*.npz")):
+                try:
+                    arrays, checksum = self._read_arrays(artifact)
+                except _READ_ERRORS:
+                    unreadable += 1
+                    continue
+                if checksum is None:
+                    checksum = _content_digest(arrays)
+                entries[artifact.stem] = checksum.hex()
+            manifest = {
+                "format": MANIFEST_FORMAT_VERSION,
+                "shard": shard_dir.name,
+                "count": len(entries),
+                "entries": entries,
+            }
+            self._write_json_atomic(self.manifest_path(shard_dir.name), manifest)
+            entries_total += len(entries)
+            shards += 1
+        return {
+            "migrated": migrated,
+            "shards": shards,
+            "entries": entries_total,
+            "unreadable": unreadable,
+        }
+
+    def read_manifest(self, shard: str) -> Optional[dict]:
+        path = self.manifest_path(shard)
+        if not path.exists():
+            return None
+        try:
+            return json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+
+    def _write_json_atomic(self, path: Path, payload: dict) -> None:
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=".manifest-", suffix=".json.tmp", dir=str(path.parent)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(payload, handle, sort_keys=True, indent=1)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    # -- gc / scrub ------------------------------------------------------
+
+    def gc(
+        self,
+        referenced: Optional[Iterable[str]] = None,
+        grace_s: float = 60.0,
+        now: Optional[float] = None,
+    ) -> GCReport:
+        """Remove orphaned temp files and (optionally) unreferenced entries.
+
+        Everything younger than ``grace_s`` is kept, which is the entire
+        concurrency story: a live writer's temp file and a just-committed
+        artifact both have fresh mtimes, so any number of gc passes racing
+        the writer — or each other — cannot delete in-progress or
+        just-landed work.  Removals tolerate losing the race to another gc
+        pass (a vanished file is already the desired outcome).
+
+        ``referenced`` is the caller's live-key set (e.g. a run journal's
+        cells); when given, artifacts outside it that are older than the
+        grace window are deleted.  ``None`` removes temp orphans only.
+        """
+        report = GCReport()
+        now = time.time() if now is None else now
+        directories = [self.directory] + self._shard_dirs()
+        for directory in directories:
+            for pattern in ("*.npz.tmp", ".*.npz.tmp"):
+                for tmp in directory.glob(pattern):
+                    if self._older_than(tmp, now, grace_s):
+                        self._unlink_quiet(tmp)
+                        report.tmp_removed += 1
+                    else:
+                        report.kept_recent += 1
+        if referenced is not None:
+            keep: Set[str] = set(referenced)
+            for artifact in self._artifact_files():
+                if artifact.stem in keep:
+                    continue
+                if self._older_than(artifact, now, grace_s):
+                    self._unlink_quiet(artifact)
+                    report.unreferenced_removed += 1
+                else:
+                    report.kept_recent += 1
+        return report
+
+    @staticmethod
+    def _older_than(path: Path, now: float, grace_s: float) -> bool:
+        try:
+            return now - path.stat().st_mtime > grace_s
+        except OSError:
+            return False  # vanished under us: nothing to remove
+
+    @staticmethod
+    def _unlink_quiet(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def scrub(self) -> ScrubReport:
+        """Verify every artifact's embedded SHA-256; quarantine corruption.
+
+        A file whose recomputed digest disagrees with its embedded
+        checksum — or that no longer parses at all — is moved into
+        ``quarantine/`` (never deleted: the bytes stay available for
+        forensics).  The store then *self-heals*: the next access misses,
+        the seeded cell recomputes, and a checksum-valid artifact is
+        rewritten in place.  Checksum-less legacy files are counted but
+        left alone (no verdict without a checksum); run
+        :meth:`rebuild_manifest` to upgrade them.
+        """
+        report = ScrubReport()
+        quarantine_dir = self.directory / QUARANTINE_DIR
+        for artifact in self._artifact_files():
+            fault_point("artifact.scrub")
+            report.scanned += 1
+            corrupt = False
+            try:
+                arrays, checksum = self._read_arrays(artifact)
+                if checksum is None:
+                    report.missing_checksum += 1
+                    continue
+                corrupt = checksum != _content_digest(arrays)
+            except _READ_ERRORS:
+                corrupt = True
+            if not corrupt:
+                report.ok += 1
+                continue
+            report.corrupt += 1
+            self.corrupt_reads += 1
+            quarantine_dir.mkdir(parents=True, exist_ok=True)
+            try:
+                os.replace(artifact, quarantine_dir / artifact.name)
+                report.quarantined.append(artifact.stem)
+            except OSError:
+                pass  # lost a race with a rewriting engine: it healed first
+        return report
 
 
 class ArtifactCache:

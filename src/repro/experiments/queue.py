@@ -1,0 +1,371 @@
+"""Durable, journaled work-queue state for resumable sweeps.
+
+A sweep used to be a process lifetime: kill the coordinator and the whole
+grid's progress — which cells completed, which were in flight, which were
+quarantined as poison — died with it.  :class:`DurableQueue` turns that
+state into an on-disk object: an append-only, fsync'd JSONL journal under a
+``run_dir`` records every per-cell transition, so a coordinator (or any of
+its pool workers) can be SIGKILLed at any instant and a fresh process can
+replay the journal and finish the sweep bit-identical to an uninterrupted
+run.
+
+Journal format
+--------------
+
+One JSON object per line, appended with ``flush`` + ``os.fsync`` so a
+record either fully reaches the disk or is a *torn tail* — a final line
+cut short mid-append.  Replay tolerates exactly that: an undecodable
+**final** record is dropped (losing at most the last transition, which the
+lease machinery recovers); an undecodable record **before** the tail means
+real corruption and raises
+:class:`~repro.reliability.errors.JournalCorruptError` rather than
+silently resuming from a hole.
+
+Record types (all carry ``"key"`` except ``meta`` / ``clear_quarantine``):
+
+========== ==================================================================
+``meta``              journal header: format version, lease timeout
+``enqueue``           cell registered (carries the full job payload)
+``lease``             cell handed to a worker until ``expires`` (wall clock)
+``renew``             heartbeat: lease extended to ``expires``
+``done``              cell completed and its artifact persisted
+``fail``              one attempt failed; cell back to pending
+``quarantine``        attempts exhausted; cell embargoed (survives restarts)
+``clear_quarantine``  every embargo lifted
+``reopen``            a done cell's artifact vanished; back to pending
+========== ==================================================================
+
+Lease state machine
+-------------------
+
+::
+
+    pending --lease--> leased --done--> done
+       ^                 |  |
+       |                 |  +--fail--> pending   (attempts += 1)
+       |                 +--(expiry)-> pending   (implicit: no record needed)
+       |                 +--quarantine--> quarantined
+       +--clear_quarantine / reopen------+
+
+Lease expiry is *derived*, never journaled: a leased cell whose ``expires``
+timestamp (wall clock — it must survive process restarts) has passed is
+reported by :meth:`pending_keys` and re-leasable, which is precisely how a
+dead coordinator's in-flight cells are recovered on resume.  Completion is
+idempotent by construction — cells are addressed by their SHA-256 content
+key and artifacts live in the content-addressed store — so the races a
+visibility timeout allows (two workers finishing the same cell) converge
+on bit-identical bytes.
+
+The journal has a **single writer**: the coordinator process.  Pool
+workers never append — their lifecycle is recorded by the coordinator on
+their behalf, which keeps the journal free of multi-process interleaving
+while still surviving the death of either side.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Union
+
+from repro.core import engine_config
+from repro.reliability.errors import JournalCorruptError
+from repro.reliability.faults import fault_point
+
+JOURNAL_NAME = "journal.jsonl"
+# Bump on incompatible record-shape changes; replay refuses newer journals
+# instead of misreading them.
+JOURNAL_FORMAT_VERSION = 1
+
+# Cell states.
+PENDING = "pending"
+LEASED = "leased"
+DONE = "done"
+QUARANTINED = "quarantined"
+
+
+@dataclasses.dataclass
+class CellRecord:
+    """In-memory state of one journaled cell (rebuilt by replay)."""
+
+    key: str
+    payload: Dict[str, Any]
+    state: str = PENDING
+    attempts: int = 0
+    lease_worker: str = ""
+    lease_expires: float = 0.0
+    error: str = ""
+    error_type: str = ""
+
+    def lease_expired(self, now: float) -> bool:
+        return self.state == LEASED and now >= self.lease_expires
+
+
+class DurableQueue:
+    """On-disk work-queue state for one sweep run directory.
+
+    Parameters
+    ----------
+    run_dir:
+        Directory holding the journal (created on first use).  Artifacts
+        conventionally live next to it under ``run_dir/artifacts`` (the
+        sweep engine attaches a store there when it has none).
+    lease_s:
+        Visibility timeout for leased cells; ``None`` resolves through
+        :mod:`repro.core.engine_config` (``REPRO_SWEEP_LEASE_S`` > 30).
+    clock:
+        Wall-clock source (injectable for lease-expiry tests).  Must be
+        wall time, not monotonic — expiry is compared across processes.
+    """
+
+    def __init__(
+        self,
+        run_dir: Union[str, Path],
+        lease_s: Optional[float] = None,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        self.run_dir = Path(run_dir)
+        self.run_dir.mkdir(parents=True, exist_ok=True)
+        self.lease_s = engine_config.resolve_sweep_lease_s(lease_s)
+        self.clock = clock
+        self.journal_path = self.run_dir / JOURNAL_NAME
+        self.cells: Dict[str, CellRecord] = {}
+        # Set when replay dropped an undecodable final record (a crash
+        # mid-append); exposed for tests and health reporting.
+        self.torn_tail = False
+        fresh = not self.journal_path.exists()
+        if not fresh:
+            self._replay()
+        self._handle = open(self.journal_path, "a", encoding="utf-8")
+        if fresh:
+            self._append({
+                "type": "meta",
+                "format": JOURNAL_FORMAT_VERSION,
+                "lease_s": self.lease_s,
+            })
+
+    # -- journal I/O -----------------------------------------------------
+
+    def _replay(self) -> None:
+        raw = self.journal_path.read_bytes()
+        chunks = raw.split(b"\n")
+        offset = 0
+        for index, chunk in enumerate(chunks):
+            if not chunk.strip():
+                offset += len(chunk) + 1
+                continue
+            try:
+                record = json.loads(chunk.decode("utf-8"))
+                if not isinstance(record, dict):
+                    raise ValueError("record is not an object")
+            except (ValueError, UnicodeDecodeError):
+                if index == len(chunks) - 1:
+                    # Torn tail: the append was cut by a crash.  The lost
+                    # transition is recovered by lease expiry / idempotent
+                    # completion, never by guessing at partial bytes.  The
+                    # torn bytes are truncated away so later appends start
+                    # a fresh line instead of merging into the fragment
+                    # (which would turn a recoverable tear into mid-journal
+                    # corruption on the next replay).
+                    self.torn_tail = True
+                    with open(self.journal_path, "r+b") as handle:
+                        handle.truncate(offset)
+                    break
+                raise JournalCorruptError(
+                    "undecodable journal record %d of %s (not the tail): %r"
+                    % (index + 1, self.journal_path, chunk[:80])
+                ) from None
+            self._apply(record)
+            offset += len(chunk) + 1
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        """Apply ``record`` in memory, then append + fsync it to the journal.
+
+        In-memory state is updated through the same :meth:`_apply` replay
+        uses, so a resumed process reconstructs exactly the state a live
+        one held.
+        """
+        fault_point("queue.append")
+        self._apply(record)
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+
+    def _apply(self, record: Dict[str, Any]) -> None:
+        kind = record.get("type")
+        if kind == "meta":
+            version = int(record.get("format", 0))
+            if version > JOURNAL_FORMAT_VERSION:
+                raise JournalCorruptError(
+                    "journal %s has format %d; this build reads <= %d"
+                    % (self.journal_path, version, JOURNAL_FORMAT_VERSION)
+                )
+            return
+        if kind == "clear_quarantine":
+            for cell in self.cells.values():
+                if cell.state == QUARANTINED:
+                    cell.state = PENDING
+                    cell.error = cell.error_type = ""
+            return
+        key = record.get("key")
+        if not key:
+            return  # unknown / extension record: ignore for forward compat
+        if kind == "enqueue":
+            if key not in self.cells:
+                self.cells[key] = CellRecord(key=key, payload=record.get("job", {}))
+            return
+        cell = self.cells.get(key)
+        if cell is None:
+            return  # transition for a cell whose enqueue we never saw
+        if kind == "lease":
+            cell.state = LEASED
+            cell.lease_worker = record.get("worker", "")
+            cell.lease_expires = float(record.get("expires", 0.0))
+        elif kind == "renew":
+            if cell.state == LEASED:
+                cell.lease_expires = float(record.get("expires", 0.0))
+        elif kind == "done":
+            cell.state = DONE
+            cell.error = cell.error_type = ""
+        elif kind == "fail":
+            cell.state = PENDING
+            cell.attempts = int(record.get("attempts", cell.attempts + 1))
+            cell.error = record.get("error", "")
+            cell.error_type = record.get("error_type", "")
+        elif kind == "quarantine":
+            cell.state = QUARANTINED
+            cell.attempts = int(record.get("attempts", cell.attempts))
+            cell.error = record.get("error", "")
+            cell.error_type = record.get("error_type", "")
+        elif kind == "reopen":
+            cell.state = PENDING
+
+    # -- transitions -----------------------------------------------------
+
+    def enqueue(self, key: str, payload: Dict[str, Any]) -> bool:
+        """Register a cell; idempotent (``False`` when already known)."""
+        if key in self.cells:
+            return False
+        self._append({"type": "enqueue", "key": key, "job": payload})
+        return True
+
+    def lease(self, key: str, worker: str = "") -> float:
+        """Lease ``key`` until ``now + lease_s``; returns the expiry time.
+
+        Leasing an already-leased cell is a takeover (straggler
+        re-dispatch or an expired lease being reclaimed) — the new record
+        supersedes the old lease on replay.
+        """
+        fault_point("queue.lease")
+        cell = self._known(key)
+        if cell.state == QUARANTINED:
+            raise ValueError("cannot lease quarantined cell %s" % key[:16])
+        expires = self.clock() + self.lease_s
+        self._append({
+            "type": "lease", "key": key, "worker": worker, "expires": expires,
+        })
+        return expires
+
+    def renew(self, key: str) -> None:
+        """Heartbeat: push the lease expiry out another ``lease_s``."""
+        cell = self._known(key)
+        if cell.state != LEASED:
+            return
+        self._append({
+            "type": "renew", "key": key, "expires": self.clock() + self.lease_s,
+        })
+
+    def complete(self, key: str) -> None:
+        """Mark ``key`` done (idempotent; valid from any non-quarantined state)."""
+        cell = self._known(key)
+        if cell.state == DONE:
+            return
+        self._append({"type": "done", "key": key})
+
+    def record_failure(self, key: str, error: BaseException, attempts: int) -> None:
+        """One attempt failed; the cell returns to pending."""
+        self._known(key)
+        self._append({
+            "type": "fail", "key": key, "attempts": int(attempts),
+            "error": str(error), "error_type": type(error).__name__,
+        })
+
+    def quarantine(self, key: str, error: BaseException, attempts: int) -> None:
+        """Embargo ``key``: later runs fail it fast until cleared."""
+        self._known(key)
+        self._append({
+            "type": "quarantine", "key": key, "attempts": int(attempts),
+            "error": str(error), "error_type": type(error).__name__,
+        })
+
+    def clear_quarantine(self) -> None:
+        """Lift every embargo (the persisted record included)."""
+        self._append({"type": "clear_quarantine"})
+
+    def reopen(self, key: str) -> None:
+        """A done cell's artifact vanished; make it buildable again."""
+        cell = self._known(key)
+        if cell.state == DONE:
+            self._append({"type": "reopen", "key": key})
+
+    def _known(self, key: str) -> CellRecord:
+        cell = self.cells.get(key)
+        if cell is None:
+            raise KeyError("cell %s was never enqueued" % key[:16])
+        return cell
+
+    # -- views -----------------------------------------------------------
+
+    def state(self, key: str) -> Optional[str]:
+        cell = self.cells.get(key)
+        if cell is None:
+            return None
+        if cell.lease_expired(self.clock()):
+            return PENDING
+        return cell.state
+
+    def pending_keys(self, now: Optional[float] = None) -> List[str]:
+        """Cells still owed work: pending plus expired leases, journal order."""
+        now = self.clock() if now is None else now
+        return [
+            cell.key for cell in self.cells.values()
+            if cell.state == PENDING or cell.lease_expired(now)
+        ]
+
+    def done_keys(self) -> List[str]:
+        return [cell.key for cell in self.cells.values() if cell.state == DONE]
+
+    def quarantined(self) -> Dict[str, CellRecord]:
+        return {
+            key: cell for key, cell in self.cells.items()
+            if cell.state == QUARANTINED
+        }
+
+    def jobs(self) -> Dict[str, Dict[str, Any]]:
+        """Every journaled cell's payload, keyed by content key."""
+        return {key: cell.payload for key, cell in self.cells.items()}
+
+    def counts(self) -> Dict[str, int]:
+        """State histogram (expired leases counted as pending)."""
+        now = self.clock()
+        histogram = {PENDING: 0, LEASED: 0, DONE: 0, QUARANTINED: 0}
+        for cell in self.cells.values():
+            state = PENDING if cell.lease_expired(now) else cell.state
+            histogram[state] += 1
+        return histogram
+
+    # -- lifecycle -------------------------------------------------------
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "DurableQueue":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

@@ -75,6 +75,7 @@ def run_all_experiments(
     workers: Optional[int] = None,
     include_finetune: bool = True,
     include_individual: bool = True,
+    run_dir: Optional[str] = None,
 ) -> AllExperimentsResult:
     """Run every experiment against one shared, prefetched artifact cache.
 
@@ -91,13 +92,20 @@ def run_all_experiments(
         at quick budgets; set ``False`` to regenerate only the operator-
         level tables and figures (their approximation cells are prefetched
         either way, matching what the fine-tuning would consume).
+    run_dir:
+        Durable-run directory for the prefetch batch.  When given, the
+        batch is journaled and crash-safe: kill the process at any point
+        and rerunning with the same ``run_dir`` finishes the remaining
+        cells without rebuilding completed ones (see
+        :meth:`~repro.experiments.jobs.SweepEngine.resume`).  Every cell
+        is seeded, so the recorded numbers are unchanged.
     """
     engine = engine if engine is not None else default_engine()
     per_experiment = all_experiment_jobs(approx_budget)
     union: List[ApproximationJob] = [
         job for jobs in per_experiment.values() for job in jobs
     ]
-    engine.run(union, workers=workers)
+    engine.run(union, workers=workers, run_dir=run_dir)
 
     table3 = run_table3(budget=approx_budget, engine=engine)
     fig2a, fig2b = run_fig2(budget=approx_budget, engine=engine)

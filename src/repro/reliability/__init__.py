@@ -24,7 +24,9 @@ from repro.reliability.errors import (
     DeadlineExceededError,
     InjectedFault,
     JobQuarantinedError,
+    JournalCorruptError,
     NoHealthyReplicaError,
+    PersistedQuarantineError,
     QueueFullError,
     ReliabilityError,
     ReplicaCrashLoopError,
@@ -49,7 +51,9 @@ __all__ = [
     "FaultSpec",
     "InjectedFault",
     "JobQuarantinedError",
+    "JournalCorruptError",
     "NoHealthyReplicaError",
+    "PersistedQuarantineError",
     "QueueFullError",
     "ReliabilityError",
     "ReplicaCrashLoopError",

@@ -37,6 +37,26 @@ class JobQuarantinedError(ReliabilityError):
     """A sweep job was refused because its key is quarantined as poison."""
 
 
+class JournalCorruptError(ReliabilityError):
+    """A sweep journal record failed to parse *before* the tail.
+
+    A torn tail (the final record cut short by a crash mid-append) is
+    expected and tolerated on replay; an undecodable record with valid
+    records after it means the journal was edited or the disk corrupted
+    mid-file, and resuming from it could silently drop completed work.
+    """
+
+
+class PersistedQuarantineError(ReliabilityError):
+    """A quarantine record reloaded from a journal or sidecar file.
+
+    Stands in for the original exception (whose type/traceback died with
+    the process that quarantined the cell); the message preserves the
+    original error type and text so ``JobFailure.describe()`` stays
+    informative across restarts.
+    """
+
+
 class ReplicaDiedError(ReliabilityError):
     """A serving replica process died while work was pending on it.
 

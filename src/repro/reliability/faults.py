@@ -30,6 +30,14 @@ Semantics:
 * **Corruption** is a separate hook (:func:`corrupt_file`) because the
   artifact store must corrupt the *bytes it just wrote*, not raise: a
   torn write is a file that exists and parses wrong.
+
+Instrumented seams (the site inventory the chaos suites target):
+``sweep.build:<operator>:<method>`` (cell execution),
+``compiled.trace`` / ``serve.batch`` (serving tier),
+``artifact.save`` (post-write byte corruption via :func:`corrupt_file`),
+and — PR 8 — ``queue.append`` (journal record append, for torn-tail and
+mid-write crashes), ``queue.lease`` (lease acquisition), and
+``artifact.scrub`` (per-file verification during a scrub pass).
 """
 
 from __future__ import annotations

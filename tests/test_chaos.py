@@ -247,6 +247,7 @@ class TestArtifactChaos:
         key = "a" * 64
         # A structurally valid npz whose checksum does not match its
         # arrays — the unzip succeeds, content validation must refuse it.
+        store.path_for(key).parent.mkdir(parents=True, exist_ok=True)
         np.savez(
             store.path_for(key),
             breakpoints=np.array([0.0]),

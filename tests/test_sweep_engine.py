@@ -260,11 +260,12 @@ class TestArtifactStore:
 
     def test_checksumless_legacy_artifact_still_loads(self, tmp_path):
         # Artifacts written before the checksum field must stay readable
-        # (validation is opportunistic: no checksum, no verdict).
+        # (validation is opportunistic: no checksum, no verdict) — and
+        # they live in the pre-sharding flat layout.
         built = fresh_engine().build(self.JOB)
         store = ArtifactStore(tmp_path)
         np.savez(
-            store.path_for(self.JOB.key),
+            store.legacy_path_for(self.JOB.key),
             breakpoints=built.breakpoints,
             slopes=built.slopes,
             intercepts=built.intercepts,
@@ -278,3 +279,128 @@ class TestArtifactStore:
         engine = fresh_engine(tmp_path)
         engine.build(self.JOB)
         assert ArtifactStore(tmp_path).keys() == [self.JOB.key]
+
+
+class TestShardedLayout:
+    JOB = ApproximationJob("gelu", "gqa-rm", 8, QUICK)
+
+    def test_save_writes_into_key_prefix_shard(self, tmp_path):
+        engine = fresh_engine(tmp_path)
+        built = engine.build(self.JOB)
+        key = self.JOB.key
+        sharded = tmp_path / key[:2] / ("%s.npz" % key)
+        assert sharded.exists()
+        assert not (tmp_path / ("%s.npz" % key)).exists()
+        loaded = ArtifactStore(tmp_path).load(key)
+        assert_pwl_equal(loaded, built)
+
+    def test_flat_legacy_artifact_is_still_resolved(self, tmp_path):
+        built = fresh_engine().build(self.JOB)
+        store = ArtifactStore(tmp_path)
+        np.savez(
+            store.legacy_path_for(self.JOB.key),
+            breakpoints=built.breakpoints,
+            slopes=built.slopes,
+            intercepts=built.intercepts,
+        )
+        assert store.keys() == [self.JOB.key]
+        assert_pwl_equal(store.load(self.JOB.key), built)
+
+    def test_rebuild_manifest_migrates_flat_store_in_place(self, tmp_path):
+        # A pre-sharding store: one checksummed artifact, one
+        # checksum-less artifact, both in the flat layout.
+        checksummed = self.JOB
+        checksumless = ApproximationJob("exp", "nn-lut", 8, QUICK)
+        originals = {
+            checksummed.key: fresh_engine().build(checksummed),
+            checksumless.key: fresh_engine().build(checksumless),
+        }
+        store = ArtifactStore(tmp_path)
+        store.save(checksummed.key, originals[checksummed.key])
+        sharded_path = store.path_for(checksummed.key)
+        sharded_path.replace(store.legacy_path_for(checksummed.key))
+        sharded_path.parent.rmdir()
+        np.savez(
+            store.legacy_path_for(checksumless.key),
+            breakpoints=originals[checksumless.key].breakpoints,
+            slopes=originals[checksumless.key].slopes,
+            intercepts=originals[checksumless.key].intercepts,
+        )
+
+        report = store.rebuild_manifest()
+        assert report["migrated"] == 2
+        assert report["entries"] == 2
+        assert report["unreadable"] == 0
+
+        migrated = ArtifactStore(tmp_path)
+        for key, original in originals.items():
+            assert migrated.path_for(key).exists()
+            assert not migrated.legacy_path_for(key).exists()
+            assert_pwl_equal(migrated.load(key), original)
+        # The migration backfilled checksums: a scrub now verifies both.
+        scrubbed = migrated.scrub()
+        assert scrubbed.scanned == 2
+        assert scrubbed.ok == 2
+        assert scrubbed.missing_checksum == 0
+
+    def test_rebuild_manifest_writes_per_shard_manifests(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        engine = SweepEngine(cache=ArtifactCache(store=store))
+        built = engine.build(self.JOB)
+        store.rebuild_manifest()
+        shard = self.JOB.key[:2]
+        manifest = store.read_manifest(shard)
+        assert manifest is not None
+        assert manifest["shard"] == shard
+        assert manifest["count"] == 1
+        checksum = manifest["entries"][self.JOB.key]
+        assert len(checksum) == 64
+        assert_pwl_equal(store.load(self.JOB.key), built)
+
+
+class TestDurableRunDir:
+    def test_run_dir_journals_every_cell(self, tmp_path):
+        import json as json_module
+
+        run_dir = tmp_path / "run"
+        engine = SweepEngine(run_dir=run_dir)
+        jobs = [
+            ApproximationJob("gelu", "gqa-rm", 8, QUICK),
+            ApproximationJob("exp", "gqa-rm", 8, QUICK),
+        ]
+        manifest = engine.run_manifest(jobs)
+        assert manifest.ok
+        engine.close()
+
+        journal = run_dir / "journal.jsonl"
+        records = [json_module.loads(line) for line in journal.read_text().splitlines()]
+        kinds = [record["type"] for record in records]
+        assert kinds.count("enqueue") == 2
+        assert kinds.count("done") == 2
+        # Artifacts landed in the auto-attached store next to the journal.
+        store = ArtifactStore(run_dir / "artifacts")
+        assert set(store.keys()) == {job.key for job in jobs}
+
+    def test_second_run_over_same_run_dir_rebuilds_nothing(self, tmp_path):
+        run_dir = tmp_path / "run"
+        job = ApproximationJob("gelu", "gqa-rm", 8, QUICK)
+        first = SweepEngine(run_dir=run_dir)
+        built = first.run_manifest([job])
+        assert first.last_run.builds == 1
+        first.close()
+
+        second = SweepEngine(run_dir=run_dir)
+        again = second.run_manifest([job])
+        assert second.last_run.builds == 0
+        assert second.last_run.disk_hits == 1
+        assert_pwl_equal(again.results[job.key], built.results[job.key])
+        second.close()
+
+    def test_run_dir_resolves_from_engine_config_env(self, tmp_path, monkeypatch):
+        run_dir = tmp_path / "env-run"
+        monkeypatch.setenv(engine_config.SWEEP_RUN_DIR_ENV, str(run_dir))
+        engine = SweepEngine()
+        manifest = engine.run_manifest([ApproximationJob("gelu", "gqa-rm", 8, QUICK)])
+        assert manifest.ok
+        assert (run_dir / "journal.jsonl").exists()
+        engine.close()
