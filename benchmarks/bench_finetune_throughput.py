@@ -19,6 +19,12 @@ Measures three layers of the quantized fine-tuning stack:
    end to end; the fit-time speedup is reported (matmuls, LSQ fake-quant
    and optimizer work are shared between engines, so this ratio is smaller
    than the operator-level one).
+4. **Compiled training** — the same fine-tune under
+   ``train_engine="compiled"`` (the whole forward + backward + optimizer
+   step traced once and replayed from a static plan) versus the eager
+   loop.  Losses, final weights and validation mIoU are asserted
+   bit-identical; the fit-time speedup is the headline gated by
+   ``--min-train-speedup``.
 
 Results are written to ``BENCH_finetune_throughput.json`` at the repository
 root so the performance trajectory is tracked across PRs; CI runs a reduced
@@ -223,6 +229,85 @@ def bench_model_finetune(budget: FinetuneBudget, epochs: int) -> dict:
     }
 
 
+def bench_compiled_train(budget: FinetuneBudget, epochs: int) -> dict:
+    """Compiled train engine vs. eager: bit-identical, then timed.
+
+    Both runs use the dense pwl engine (the PR 2 default); only the
+    training engine differs.  Losses, final weights and validation mIoU
+    must match bitwise — the PR 9 contract — before any timing is
+    reported.
+    """
+    approximations = {op: build_approximation(op) for op in OPERATORS}
+    dataset = SyntheticSegmentationDataset(
+        SyntheticSegmentationConfig(
+            image_size=budget.image_size,
+            num_classes=budget.num_classes,
+            num_train=budget.num_train,
+            num_val=budget.num_val,
+            seed=budget.seed + 101,
+        )
+    )
+    model_config = ModelConfig(
+        image_size=budget.image_size,
+        num_classes=budget.num_classes,
+        embed_dim=budget.embed_dim,
+        depth=budget.depth,
+        seed=budget.seed,
+    )
+
+    timings, results, states = {}, {}, {}
+    for engine in ("eager", "compiled"):
+        suite = PWLSuite(
+            approximations=approximations, replace=set(OPERATORS), engine="dense"
+        )
+        model = MiniSegformer(model_config, suite=suite)
+        prepare_quantized_model(model)
+        trainer = Trainer(
+            model,
+            TrainingConfig(
+                epochs=epochs,
+                batch_size=budget.batch_size,
+                learning_rate=budget.finetune_lr,
+                seed=budget.seed,
+            ),
+        )
+        start = time.perf_counter()
+        results[engine] = trainer.fit(
+            dataset.train_images, dataset.train_labels,
+            dataset.val_images, dataset.val_labels,
+            num_classes=dataset.num_classes,
+            train_engine=engine,
+        )
+        timings[engine] = time.perf_counter() - start
+        states[engine] = {
+            name: value.copy() for name, value in model.state_dict().items()
+        }
+
+    eager, compiled = results["eager"], results["compiled"]
+    identical_losses = bool(eager.losses == compiled.losses)
+    identical_weights = all(
+        np.array_equal(states["eager"][name], states["compiled"][name])
+        for name in states["eager"]
+    )
+    if not (identical_losses and identical_weights
+            and eager.val_miou == compiled.val_miou):
+        raise AssertionError("compiled training diverged from eager")
+    return {
+        "model": "MiniSegformer",
+        "image_size": budget.image_size,
+        "embed_dim": budget.embed_dim,
+        "depth": budget.depth,
+        "epochs": epochs,
+        "steps": len(compiled.losses),
+        "eager_seconds": timings["eager"],
+        "compiled_seconds": timings["compiled"],
+        "speedup": timings["eager"] / timings["compiled"],
+        "identical_losses": identical_losses,
+        "identical_weights": identical_weights,
+        "val_miou": compiled.val_miou,
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--repeats", type=int, default=30)
@@ -241,6 +326,13 @@ def main(argv=None) -> int:
         help="fail (exit 1) if the combined pwl-step speedup falls below this "
         "factor (default 2.5 for full runs, disabled with --smoke)",
     )
+    parser.add_argument(
+        "--min-train-speedup",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the compiled-vs-eager fine-tune speedup falls "
+        "below this factor (default 1.5 for full runs, disabled with --smoke)",
+    )
     args = parser.parse_args(argv)
 
     if args.smoke:
@@ -249,6 +341,7 @@ def main(argv=None) -> int:
         budget = FinetuneBudget.quick()
         epochs = 1
         min_speedup = args.min_step_speedup or 0.0
+        min_train_speedup = args.min_train_speedup or 0.0
     else:
         shape = (16, 64, 64)
         repeats = args.repeats
@@ -260,10 +353,14 @@ def main(argv=None) -> int:
         # noise.  check_bench_parity.py holds the tighter per-path line
         # against the recorded baseline.
         min_speedup = 2.5 if args.min_step_speedup is None else args.min_step_speedup
+        min_train_speedup = (
+            1.5 if args.min_train_speedup is None else args.min_train_speedup
+        )
 
     operator_stats = bench_operator_throughput(shape, repeats, args.seed)
     step_stats = bench_pwl_step(shape, repeats, args.seed)
     model_stats = bench_model_finetune(budget, epochs)
+    train_stats = bench_compiled_train(budget, epochs)
 
     report = {
         "benchmark": "finetune_throughput",
@@ -282,6 +379,7 @@ def main(argv=None) -> int:
         "operator": operator_stats,
         "pwl_step": step_stats,
         "model_finetune": model_stats,
+        "compiled_train": train_stats,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
 
@@ -324,12 +422,31 @@ def main(argv=None) -> int:
             model_stats["identical_losses"],
         )
     )
+    print(
+        "compiled training (MiniSegformer, %d steps): eager %6.2fs   compiled"
+        " %6.2fs   speedup %4.2fx   (losses identical: %s, weights identical:"
+        " %s)"
+        % (
+            train_stats["steps"],
+            train_stats["eager_seconds"],
+            train_stats["compiled_seconds"],
+            train_stats["speedup"],
+            train_stats["identical_losses"],
+            train_stats["identical_weights"],
+        )
+    )
     print("wrote %s" % args.output)
 
     if step_stats["speedup"] < min_speedup:
         print(
             "FAIL: pwl-step speedup %.1fx below required %.1fx"
             % (step_stats["speedup"], min_speedup)
+        )
+        return 1
+    if train_stats["speedup"] < min_train_speedup:
+        print(
+            "FAIL: compiled-train speedup %.2fx below required %.2fx"
+            % (train_stats["speedup"], min_train_speedup)
         )
         return 1
     return 0

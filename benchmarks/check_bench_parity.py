@@ -42,6 +42,13 @@ EXACT_KEYS = (
     ("model_finetune", "identical_losses"),
     ("model_finetune", "steps"),
     ("model_finetune", "val_miou"),
+    # Compiled-training benchmark section: the traced whole-step replay
+    # must stay bit-identical to the eager loop (losses, final weights,
+    # and the downstream validation mIoU) over the same step count.
+    ("compiled_train", "identical_losses"),
+    ("compiled_train", "identical_weights"),
+    ("compiled_train", "steps"),
+    ("compiled_train", "val_miou"),
     # Compiled-inference benchmark: the 4-way eager/compiled x dense/legacy
     # parity flags, the seeded prediction checksums (drift between the
     # traced executor and the eager forward changes the hash even when the
@@ -84,6 +91,7 @@ TIMING_KEYS = (
     ("operator", "dense_seconds"),
     ("pwl_step", "dense_seconds"),
     ("model_finetune", "dense_seconds"),
+    ("compiled_train", "compiled_seconds"),
     ("segformer_predict", "compiled_seconds"),
     ("efficientvit_predict", "compiled_seconds"),
     # Uncontended serving latency (bench_serving.py's lowest load level).

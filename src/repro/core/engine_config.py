@@ -17,7 +17,7 @@ knob with the precedence **kwarg > context > env > default**:
 2. otherwise the innermost :func:`use` context-manager override applies,
 3. otherwise the environment (``REPRO_GA_ENGINE``, ``REPRO_PWL_ENGINE``,
    ``REPRO_SWEEP_WORKERS``, ``REPRO_ARTIFACT_DIR``,
-   ``REPRO_INFER_ENGINE``),
+   ``REPRO_INFER_ENGINE``, ``REPRO_TRAIN_ENGINE``),
 4. otherwise the defaults (``batch`` / ``dense`` / ``0`` / no store /
    ``eager``).
 
@@ -53,6 +53,7 @@ from typing import Any, Dict, Iterator, List, Optional, Tuple
 GA_ENGINES: Tuple[str, ...] = ("batch", "legacy")
 PWL_ENGINES: Tuple[str, ...] = ("dense", "legacy")
 INFER_ENGINES: Tuple[str, ...] = ("eager", "compiled")
+TRAIN_ENGINES: Tuple[str, ...] = ("eager", "compiled")
 
 # Environment knobs (the env layer of the resolution order).
 GA_ENGINE_ENV = "REPRO_GA_ENGINE"
@@ -62,6 +63,7 @@ SWEEP_RUN_DIR_ENV = "REPRO_SWEEP_RUN_DIR"
 SWEEP_LEASE_S_ENV = "REPRO_SWEEP_LEASE_S"
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
+TRAIN_ENGINE_ENV = "REPRO_TRAIN_ENGINE"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BASE_DELAY_ENV = "REPRO_RETRY_BASE_DELAY"
 SERVE_QUEUE_LIMIT_ENV = "REPRO_SERVE_QUEUE_LIMIT"
@@ -80,6 +82,12 @@ class EngineConfig:
     sweep_workers: int = 0
     artifact_dir: Optional[str] = None
     infer_engine: str = "eager"
+    # Compiled-training knob (PR 9): whether ``Trainer.fit`` runs the
+    # eager autograd step or traces the whole step (forward + backward +
+    # optimizer update) once and replays the optimised plan.  Both engines
+    # are bit-identical per the PR 9 contract — losses, weights, optimizer
+    # buffers and the RNG stream match exactly.
+    train_engine: str = "eager"
     # Durable-sweep knobs (PR 8): ``sweep_run_dir`` makes every
     # ``SweepEngine.run_manifest`` journal its cell state under that
     # directory (crash-safe resume via ``SweepEngine.resume``);
@@ -108,6 +116,7 @@ class EngineConfig:
         check_ga_engine(self.ga_engine)
         check_pwl_engine(self.pwl_engine)
         check_infer_engine(self.infer_engine)
+        check_train_engine(self.train_engine)
         if self.sweep_workers < 0:
             raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
         if self.sweep_lease_s <= 0:
@@ -170,6 +179,15 @@ def check_infer_engine(engine: str) -> str:
     return engine
 
 
+def check_train_engine(engine: str) -> str:
+    """Validate a training engine name."""
+    if engine not in TRAIN_ENGINES:
+        raise ValueError(
+            "unknown engine %r; expected one of %s" % (engine, TRAIN_ENGINES)
+        )
+    return engine
+
+
 _FIELDS = tuple(field.name for field in dataclasses.fields(EngineConfig))
 _OVERRIDES: List[Dict[str, Any]] = []
 
@@ -201,6 +219,9 @@ def _env_layer() -> Dict[str, Any]:
     infer = os.environ.get(INFER_ENGINE_ENV)
     if infer:
         layer["infer_engine"] = infer
+    train = os.environ.get(TRAIN_ENGINE_ENV)
+    if train:
+        layer["train_engine"] = train
     for env, field, convert in (
         (SWEEP_LEASE_S_ENV, "sweep_lease_s", float),
         (RETRY_ATTEMPTS_ENV, "retry_attempts", int),
@@ -317,6 +338,21 @@ def resolve_infer_engine(override: Optional[str] = None) -> str:
     if override is not None:
         return check_infer_engine(override)
     return current().infer_engine
+
+
+def resolve_train_engine(override: Optional[str] = None) -> str:
+    """Training engine: kwarg > context > env > ``"eager"``.
+
+    ``"compiled"`` makes ``Trainer.fit`` trace the full fine-tune step
+    (forward + backward + optimizer update) once per input signature and
+    replay the optimised static plan every subsequent step; ``"eager"``
+    rebuilds the dynamic autograd tape per step.  Both engines are
+    bit-identical — per-step losses, final weights, optimizer buffers and
+    the data-order RNG stream match exactly.
+    """
+    if override is not None:
+        return check_train_engine(override)
+    return current().train_engine
 
 
 def resolve_retry_attempts(override: Optional[int] = None) -> int:

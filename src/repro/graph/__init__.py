@@ -14,21 +14,30 @@ Compiled outputs are bit-identical to eager — the passes only remove or
 pre-evaluate work, never approximate it.  Select the engine through
 :mod:`repro.core.engine_config` (``REPRO_INFER_ENGINE=compiled``) or call
 :func:`compile_model` directly.
+
+PR 9 extends the pipeline to whole *training* steps: a gradient-capturing
+:class:`Tracer` records the backward traversal and the optimizer update as
+graph nodes, and :class:`CompiledTrainStep` replays the joint
+forward+backward+update plan (``REPRO_TRAIN_ENGINE=compiled``), again
+bit-identical to the eager loop.
 """
 
 from repro.graph.executor import (
     CompiledGraph,
     CompiledModel,
+    CompiledTrainStep,
     compile_graph,
     compile_model,
 )
 from repro.graph.ir import Graph, Node
 from repro.graph.passes import (
     DEFAULT_PASSES,
+    TRAIN_PASSES,
     MemoryPlan,
     dead_code_elimination,
     fold_constants,
     fuse_dense_lookups,
+    fuse_elementwise_chains,
     optimize,
     plan_memory,
 )
@@ -41,13 +50,16 @@ __all__ = [
     "trace",
     "optimize",
     "DEFAULT_PASSES",
+    "TRAIN_PASSES",
     "dead_code_elimination",
     "fold_constants",
     "fuse_dense_lookups",
+    "fuse_elementwise_chains",
     "MemoryPlan",
     "plan_memory",
     "CompiledGraph",
     "CompiledModel",
+    "CompiledTrainStep",
     "compile_graph",
     "compile_model",
 ]

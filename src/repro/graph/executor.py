@@ -36,12 +36,20 @@ from repro.graph.passes import (
     DEFAULT_PASSES,
     GRAPH_KERNELS,
     MemoryPlan,
+    TRAIN_PASSES,
     optimize,
     plan_memory,
 )
-from repro.graph.trace import trace
+from repro.graph.trace import Tracer, trace
 from repro.nn import ops as _ops
 from repro.nn.module import Module
+
+
+def _output_only(forward):
+    """Wrap a ``(output, saved)``-returning forward to drop the saved half."""
+    def fn(*arrays):
+        return forward(*arrays)[0]
+    return fn
 
 
 class CompiledGraph:
@@ -60,11 +68,22 @@ class CompiledGraph:
             kernel_factory = GRAPH_KERNELS.get(node.op)
             if kernel_factory is not None:
                 fn = kernel_factory(node.params)
+                tuple_result = False
             else:
                 forward = _ops.get_op(node.op).forward
                 fn = functools.partial(forward, **node.params) if node.params else forward
+                tuple_result = node.op in _ops.SAVED_OUTPUT_OPS
+            saved_slot = -1
+            if node.saved_output is not None:
+                # Training graphs keep the (output, saved) pair — e.g. the
+                # fused LUT slope that feeds a traced VJP node.
+                saved_slot = self.plan.slots[node.saved_output]
+            elif tuple_result:
+                # Discarded saved half: split at compile time so the replay
+                # loop needs no per-step result-type check.
+                fn = _output_only(fn)
             src = tuple(self.plan.slots[vid] for vid in node.inputs)
-            steps.append((fn, src, self.plan.slots[node.output], releases))
+            steps.append((fn, src, self.plan.slots[node.output], saved_slot, releases))
         self._steps = tuple(steps)
         self._input_slots = tuple(self.plan.slots[vid] for vid in graph.inputs)
         self._output_slots = tuple(self.plan.slots[vid] for vid in graph.outputs)
@@ -74,6 +93,11 @@ class CompiledGraph:
 
         Not re-entrant: one run at a time per CompiledGraph (the serving
         engine funnels requests through a single worker for this reason).
+
+        The loop body is pre-resolved at compile time: each step is a bound
+        callable plus plain slot ints — no per-step registry/dict/attribute
+        lookups and no result-shape branching (tuple-returning forwards are
+        split when compiled, see ``__init__``).
         """
         if len(inputs) != len(self._input_slots):
             raise ValueError(
@@ -83,11 +107,11 @@ class CompiledGraph:
         env = list(self._template)
         for slot, array in zip(self._input_slots, inputs):
             env[slot] = array
-        for fn, src, out_slot, releases in self._steps:
-            out = fn(*[env[s] for s in src])
-            if type(out) is tuple:  # (output, saved) registry convention
-                out = out[0]
-            env[out_slot] = out
+        for fn, src, out_slot, saved_slot, releases in self._steps:
+            if saved_slot < 0:
+                env[out_slot] = fn(*[env[s] for s in src])
+            else:
+                env[out_slot], env[saved_slot] = fn(*[env[s] for s in src])
             for slot in releases:
                 env[slot] = None
         return [env[slot] for slot in self._output_slots]
@@ -270,3 +294,243 @@ def compile_model(
 ) -> CompiledModel:
     """Wrap ``module`` for compiled inference (lazy per-signature tracing)."""
     return CompiledModel(module, passes=passes, fallback=fallback)
+
+
+# -- compiled training ----------------------------------------------------------
+
+
+class _TrainPlan:
+    """One batch signature's frozen train-step executable and its plumbing."""
+
+    __slots__ = (
+        "compiled", "params", "feeds", "updates", "advance", "onehot_width"
+    )
+
+    def __init__(
+        self, compiled, params, feeds, updates, advance, onehot_width
+    ) -> None:
+        self.compiled = compiled
+        self.params = params      # trace-time parameter order (input layout)
+        self.feeds = feeds        # [(vid, fn)] dynamic per-step input sources
+        self.updates = updates    # [(vid, apply)] output -> state rebinding
+        self.advance = advance    # per-step Python bookkeeping (Adam _step)
+        self.onehot_width = onehot_width  # logits' class dim (one-hot cols)
+
+
+class CompiledTrainStep:
+    """A whole fine-tune step — forward + backward + optimizer — replayed
+    from a static plan.
+
+    The first ``step()`` call for a batch signature runs one *real* eager
+    training step under a gradient-capturing :class:`Tracer`: the forward
+    records its ops, ``loss.backward()`` emits every VJP application as
+    graph nodes mirroring the eager arithmetic term for term, and the
+    optimizer's ``trace_step`` emits its update rules symbolically while
+    performing the genuine eager update.  Parameters and optimizer buffers
+    enter the graph as *inputs* (fed fresh each step) and their updated
+    values are graph *outputs* rebound into the model/optimizer after each
+    replay — the in-place state carry.  Dynamic scalars the Python side
+    owns (the scheduled learning rate, Adam's bias corrections) are 0-d
+    array inputs computed per step, so the cosine schedule stays ordinary
+    Python.
+
+    Replayed steps are bit-identical to eager steps by construction: every
+    node either *is* the function the eager path calls or mirrors its
+    exact expression order (pinned by the parity suite).  The per-signature
+    cache re-specialises on new batch shapes (the last short batch of an
+    epoch gets its own plan); external state rebinding — checkpoint
+    restore, ``load_state_dict`` — is detected by identity-snapshotting
+    every parameter and optimizer buffer, and invalidates the cache so the
+    next step re-traces (again a real eager step, so the training
+    trajectory never skews).
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer,
+        num_classes: int,
+        schedule=None,
+        passes: Sequence[str] = TRAIN_PASSES,
+    ) -> None:
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = schedule
+        # Advisory label-space size (kept for introspection); the traced
+        # one-hot encoding is sized to the model's logit width, which may
+        # legitimately be wider than the labels in play.
+        self.num_classes = int(num_classes)
+        self.passes = tuple(passes)
+        self._cache: Dict[Tuple, _TrainPlan] = {}
+        self._state_snapshot: List[Tuple[Any, Any]] = []
+        self.compile_count = 0
+        self.replay_count = 0
+        self._check_supported()
+
+    # -- guards ----------------------------------------------------------------
+
+    def _check_supported(self) -> None:
+        from repro.nn.layers import Dropout
+
+        for module in self.model.modules():
+            if isinstance(module, Dropout) and module.p > 0:
+                raise ValueError(
+                    "compiled training cannot capture stochastic Dropout "
+                    "masks; use train_engine='eager' for this model"
+                )
+        if not hasattr(self.optimizer, "trace_step"):
+            raise TypeError(
+                "optimizer %s does not support traced updates (no trace_step)"
+                % type(self.optimizer).__name__
+            )
+
+    # -- staleness -------------------------------------------------------------
+
+    def _state_arrays(self) -> List[Tuple[Any, Any]]:
+        pairs: List[Tuple[Any, Any]] = [
+            (param, param.data) for param in self.model.parameters()
+        ]
+        for group in ("_velocity", "_m", "_v"):
+            buffers = getattr(self.optimizer, group, None)
+            if buffers is not None:
+                pairs.extend((buffers, buffer) for buffer in buffers)
+        return pairs
+
+    def _take_snapshot(self) -> None:
+        self._state_snapshot = self._state_arrays()
+
+    def _stale(self) -> bool:
+        current = self._state_arrays()
+        if len(current) != len(self._state_snapshot):
+            return True
+        for (owner, array), (snap_owner, snap_array) in zip(
+            current, self._state_snapshot
+        ):
+            if owner is not snap_owner or array is not snap_array:
+                return True
+        return False
+
+    def invalidate(self) -> None:
+        """Drop every cached plan (forces an eager re-trace next step)."""
+        self._cache.clear()
+        self._state_snapshot = []
+
+    # -- capture ---------------------------------------------------------------
+
+    def _trace(self, images: Any, labels: Any) -> Tuple[_TrainPlan, float]:
+        """Run one real eager step under capture; freeze and cache the plan."""
+        from repro.nn import functional as F
+        from repro.nn.tensor import Tensor, tracing
+
+        fault_point("compiled.train.trace")
+        tracer = Tracer(capture_grads=True)
+        image_t = Tensor(images)
+        tracer.add_input(image_t)
+        params = list(self.model.parameters())
+        param_vids = {
+            id(param): tracer.add_input(param) for param in params
+        }
+        with tracing(tracer):
+            logits = self.model(image_t)
+            # One-hot width follows the *logits'* class dimension, which
+            # may exceed the label-space size (a wider head trained on
+            # fewer classes) — exactly what eager cross_entropy indexes.
+            onehot_width = logits.shape[-1]
+            onehot_t = Tensor(F.one_hot(labels, onehot_width))
+            tracer.add_input(onehot_t)
+            loss = F.cross_entropy_onehot(logits, onehot_t)
+            self.optimizer.zero_grad()
+            loss.backward()
+            feeds, updates, advance = self.optimizer.trace_step(
+                tracer, param_vids
+            )
+        tracer.mark_output_vid(tracer.value_of(loss))
+        for vid, _apply in updates:
+            tracer.mark_output_vid(vid)
+        graph = tracer.graph
+        graph.validate()
+        compiled = CompiledGraph(optimize(graph, self.passes))
+        if self.schedule is not None:
+            self.schedule.step()
+        plan = _TrainPlan(compiled, params, feeds, updates, advance,
+                          onehot_width)
+        self.compile_count += 1
+        return plan, float(loss.data)
+
+    # -- the step surface ------------------------------------------------------
+
+    def step(self, images: Any, labels: Any) -> float:
+        """Run one training step (images, integer labels); returns the loss.
+
+        Semantically identical to the eager loop body ``forward → loss →
+        zero_grad → backward → optimizer.step() → schedule.step()``; the
+        first call per batch signature (and the first after external state
+        rebinding) *is* that eager body, every other call replays the plan.
+        """
+        if not self.model.training:
+            raise RuntimeError(
+                "compiled training requires the model in train() mode"
+            )
+        from repro.nn import functional as F
+
+        images = np.asarray(images, dtype=np.float64)
+        labels = np.asarray(labels)
+        signature = (
+            tuple(images.shape), str(images.dtype), tuple(labels.shape)
+        )
+        if self._state_snapshot and self._stale():
+            self.invalidate()
+        plan = self._cache.get(signature)
+        if plan is None:
+            plan, loss = self._trace(images, labels)
+            self._cache[signature] = plan
+            # Snapshot *after* tracing: the traced step itself rebound
+            # parameters and buffers (it was a real step), and first-call
+            # side effects (quantizer init) are part of the captured state.
+            self._take_snapshot()
+            return loss
+        fault_point("compiled.train.replay")
+        arrays = [images]
+        arrays.extend(param.data for param in plan.params)
+        arrays.append(F.one_hot(labels, plan.onehot_width))
+        arrays.extend(fn() for _vid, fn in plan.feeds)
+        outputs = plan.compiled.run(*arrays)
+        for (vid, apply), array in zip(plan.updates, outputs[1:]):
+            apply(array)
+        plan.advance()
+        if self.schedule is not None:
+            self.schedule.step()
+        self.replay_count += 1
+        # Our own rebinding moved every identity; re-snapshot so only
+        # *external* rebinds (checkpoint restore) trigger invalidation.
+        self._take_snapshot()
+        return float(outputs[0])
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def specializations(self) -> int:
+        """Number of cached batch-signature plans."""
+        return len(self._cache)
+
+    def stats(self) -> Dict[str, Any]:
+        """Plan metrics per cached signature (memory regressions pin these).
+
+        ``peak_live`` is :func:`~repro.graph.passes.plan_memory`'s count of
+        dynamic buffers simultaneously live while replaying the joint
+        forward+backward+update graph — the compiled step's working set.
+        """
+        per_signature = {}
+        for signature, plan in self._cache.items():
+            per_signature[repr(signature)] = {
+                "nodes": plan.compiled.num_steps,
+                "peak_live": plan.compiled.plan.peak_live,
+                "num_slots": plan.compiled.plan.num_slots,
+                "outputs": len(plan.updates) + 1,
+            }
+        return {
+            "compile_count": self.compile_count,
+            "replay_count": self.replay_count,
+            "specializations": len(self._cache),
+            "signatures": per_signature,
+        }

@@ -45,6 +45,12 @@ class Node:
     output: int
     params: Dict[str, Any] = dataclasses.field(default_factory=dict)
     label: Optional[str] = None
+    # Second output for ops whose forward returns ``(output, saved)`` —
+    # e.g. the fused LUT lookup's slope.  ``None`` (the default, and always
+    # the case for inference traces) means the saved half is discarded at
+    # execution time; a value id means a later node (a traced VJP) consumes
+    # it, so the executor must store it instead of dropping it.
+    saved_output: Optional[int] = None
 
 
 @dataclasses.dataclass
@@ -102,6 +108,13 @@ class Graph:
                     "node %d (%s) redefines value %d" % (index, node.op, node.output)
                 )
             defined.add(node.output)
+            if node.saved_output is not None:
+                if node.saved_output in defined:
+                    raise ValueError(
+                        "node %d (%s) redefines saved value %d"
+                        % (index, node.op, node.saved_output)
+                    )
+                defined.add(node.saved_output)
         for vid in self.outputs:
             if vid not in defined:
                 raise ValueError("graph output %d is never defined" % vid)

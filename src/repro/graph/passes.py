@@ -26,6 +26,17 @@ exact registered forward on the exact captured arrays, fusion swaps in a
 kernel documented (and pinned by the engine-parity tests) to be
 bit-identical to the fused pair's output half, and DCE only removes
 unobservable work.  Compiled results therefore match eager bit for bit.
+
+Training graphs (PR 9) add one wrinkle and one pass:
+
+* nodes may carry a ``saved_output`` — a second value id holding the
+  forward's stashed intermediate (the fused LUT slope) that a traced VJP
+  node consumes.  Every pass here treats it as a real produced value.
+* :func:`fuse_elementwise_chains` — generalises the dense-LUT fusion:
+  maximal single-consumer chains of element-wise registry ops (forward
+  *and* traced-VJP chains alike) collapse into one ``fused_chain`` graph
+  kernel that runs the exact same forwards in the exact same order from
+  one dispatch, so replay pays one step instead of one per link.
 """
 
 from __future__ import annotations
@@ -42,6 +53,36 @@ from repro.scaling.multi_range import MultiRangePWL
 #: node's params to the array-level callable the executor invokes; these
 #: live outside the :mod:`repro.nn.ops` VJP registry on purpose — they have
 #: no gradients and exist only inside compiled graphs.
+def _fused_chain_kernel(params):
+    """Build the callable for a ``fused_chain`` node.
+
+    ``params["steps"]`` is a tuple of ``(op_name, op_params, arg_spec)``
+    triples; ``arg_spec`` maps each step argument to either the previous
+    step's result (``-1``, the carry) or an index into the fused node's
+    external inputs.  Each step runs the *registered* forward of its op, so
+    the fused kernel is bit-identical to the unfused chain by construction
+    — it is literally the same functions in the same order, minus the
+    per-node executor dispatch.
+    """
+    resolved = tuple(
+        (_ops.get_op(op_name).forward, op_params, arg_spec)
+        for op_name, op_params, arg_spec in params["steps"]
+    )
+
+    def run(*arrays):
+        carry = None
+        for forward, op_params, arg_spec in resolved:
+            out = forward(
+                *[carry if j < 0 else arrays[j] for j in arg_spec], **op_params
+            )
+            if type(out) is tuple:  # (output, saved): chains never keep saved
+                out = out[0]
+            carry = out
+        return carry
+
+    return run
+
+
 GRAPH_KERNELS = {
     # One quantize pass + one gather from the dense output table
     # (bit-identical to the output half of DenseLUT.lookup_with_slope).
@@ -49,6 +90,9 @@ GRAPH_KERNELS = {
     # Single-searchsorted classify/rescale over the slot tables
     # (bit-identical to the output half of MultiRangePWL.lookup_with_slope).
     "multirange_lookup": lambda params: params["table"].lookup,
+    # A collapsed single-consumer chain of element-wise registry ops
+    # (see fuse_elementwise_chains).
+    "fused_chain": _fused_chain_kernel,
 }
 
 
@@ -60,7 +104,12 @@ def dead_code_elimination(graph: Graph) -> Graph:
     needed = set(graph.outputs)
     kept_reversed: List[Node] = []
     for node in reversed(graph.nodes):
-        if node.output in needed:
+        saved_needed = node.saved_output is not None and node.saved_output in needed
+        if node.output in needed or saved_needed:
+            if node.saved_output is not None and not saved_needed:
+                # The node survives but nothing consumes its saved half any
+                # more; drop the extra output so the executor discards it.
+                node = dataclasses.replace(node, saved_output=None)
             kept_reversed.append(node)
             needed.update(node.inputs)
     return Graph(
@@ -91,8 +140,11 @@ def fold_constants(graph: Graph) -> Graph:
             continue
         if all(vid in constants for vid in node.inputs):
             arrays = [constants[vid] for vid in node.inputs]
-            out, _ = _ops.run_forward(op, *arrays, **node.params)
+            out, saved = _ops.run_forward(op, *arrays, **node.params)
             constants[node.output] = out
+            if node.saved_output is not None:
+                # Fold the saved half too — its consumers may fold in turn.
+                constants[node.saved_output] = saved
         else:
             nodes.append(node)
     return Graph(
@@ -118,7 +170,10 @@ def fuse_dense_lookups(graph: Graph) -> Graph:
     nodes: List[Node] = []
     for node in graph.nodes:
         replacement = None
-        if node.op == "elementwise_fused":
+        # A consumed saved_output means the slope feeds a traced VJP node
+        # (training graph): the output-only kernel would drop it, so the
+        # fused training form must stay.
+        if node.op == "elementwise_fused" and node.saved_output is None:
             fused_fn = node.params.get("fused_fn")
             owner = getattr(fused_fn, "__self__", None)
             method = getattr(fused_fn, "__name__", "")
@@ -148,14 +203,122 @@ def fuse_dense_lookups(graph: Graph) -> Graph:
     )
 
 
+def fuse_elementwise_chains(graph: Graph) -> Graph:
+    """Collapse single-consumer chains of element-wise ops into one kernel.
+
+    Generalises the dense-LUT fusion pattern across arbitrary ops: any
+    maximal chain ``a → b → c`` where every link is an element-wise
+    registry op (or a traced VJP of one), each intermediate value has
+    exactly one consumer and is not a graph output, becomes one
+    ``fused_chain`` node at the last link's position.  The kernel replays
+    the registered forwards in the original order (see
+    :func:`_fused_chain_kernel`), so results are bit-identical; the win is
+    one executor step — one dispatch, one slot write, one release scan —
+    instead of one per link.  Links need not be adjacent in the node list;
+    moving an earlier link down to the tail is safe because its output has
+    no consumer other than the chain itself.
+
+    Applied to traced training graphs this fuses both forward activation
+    arithmetic (gelu's polynomial, hswish) and the mirrored VJP chains the
+    backward capture emits.  Nodes whose ``saved_output`` is consumed stay
+    unfused — the chain kernel returns only the carry.
+    """
+    consumers: Dict[int, set] = {}
+    for index, node in enumerate(graph.nodes):
+        for vid in node.inputs:
+            consumers.setdefault(vid, set()).add(index)
+    output_vids = set(graph.outputs)
+
+    def fusable(node: Node) -> bool:
+        if node.saved_output is not None:
+            return False
+        if node.op in _ops.ELEMENTWISE_OPS:
+            return True
+        base = _ops.vjp_base(node.op)
+        return base is not None and base in _ops.ELEMENTWISE_OPS
+
+    # Link each fusable node to its unique fusable consumer (chain edges).
+    nxt: Dict[int, int] = {}
+    prev: Dict[int, int] = {}
+    for index, node in enumerate(graph.nodes):
+        if not fusable(node) or node.output in output_vids:
+            continue
+        cons = consumers.get(node.output, set())
+        if len(cons) != 1:
+            continue
+        nxt_index = next(iter(cons))
+        if nxt_index in prev or not fusable(graph.nodes[nxt_index]):
+            # A node has at most one carry predecessor: when two producers
+            # both feed the same consumer exclusively, the first claims the
+            # chain and the other stays an external input.
+            continue
+        nxt[index] = nxt_index
+        prev[nxt_index] = index
+
+    replaced: Dict[int, Node] = {}   # tail index -> fused node
+    dropped: set = set()             # non-tail chain member indices
+    for head in sorted(nxt):
+        if head in prev:
+            continue  # not a chain head
+        chain = [head]
+        while chain[-1] in nxt:
+            chain.append(nxt[chain[-1]])
+        if len(chain) < 2:
+            continue
+        externals: List[int] = []
+        steps = []
+        carry_vid = None
+        for link_index in chain:
+            link = graph.nodes[link_index]
+            spec: List[int] = []
+            for vid in link.inputs:
+                if carry_vid is not None and vid == carry_vid:
+                    spec.append(-1)
+                    continue
+                if vid not in externals:
+                    externals.append(vid)
+                spec.append(externals.index(vid))
+            steps.append((link.op, dict(link.params), tuple(spec)))
+            carry_vid = link.output
+        tail = chain[-1]
+        replaced[tail] = Node(
+            op="fused_chain",
+            inputs=tuple(externals),
+            output=graph.nodes[tail].output,
+            params={"steps": tuple(steps)},
+            label=",".join(graph.nodes[i].op for i in chain),
+        )
+        dropped.update(chain[:-1])
+
+    nodes: List[Node] = []
+    for index, node in enumerate(graph.nodes):
+        if index in dropped:
+            continue
+        nodes.append(replaced.get(index, node))
+    return Graph(
+        inputs=list(graph.inputs),
+        outputs=list(graph.outputs),
+        nodes=nodes,
+        constants=dict(graph.constants),
+        num_values=graph.num_values,
+    )
+
+
 #: Default pipeline: fold parameter subtrees, fuse LUT kernels, then sweep
 #: the now-dead slope machinery and folded-away source constants.
 DEFAULT_PASSES: Tuple[str, ...] = ("fold", "fuse", "dce")
+
+#: Training pipeline: same folding/LUT fusion (the LUT pass skips nodes
+#: whose slope feeds backward), then chain fusion over the joint
+#: forward+backward+update graph.  Chain fusion runs after DCE so dead
+#: saved_outputs are already stripped and fuse maximally.
+TRAIN_PASSES: Tuple[str, ...] = ("fold", "fuse", "dce", "fuse_chains")
 
 _PASS_TABLE = {
     "fold": fold_constants,
     "fuse": fuse_dense_lookups,
     "dce": dead_code_elimination,
+    "fuse_chains": fuse_elementwise_chains,
 }
 
 
@@ -235,11 +398,15 @@ def plan_memory(graph: Graph) -> MemoryPlan:
     releases: List[Tuple[int, ...]] = []
     for index, node in enumerate(graph.nodes):
         acquire(node.output)
+        if node.saved_output is not None:
+            acquire(node.saved_output)
         dead: List[int] = []
         candidates = set(node.inputs)
         # A value produced but never consumed (and not a graph output) dies
         # immediately; DCE removes these, but the plan must not rely on it.
         candidates.add(node.output)
+        if node.saved_output is not None:
+            candidates.add(node.saved_output)
         for vid in candidates:
             if vid in never_released:
                 continue

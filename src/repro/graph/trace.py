@@ -31,7 +31,7 @@ keys its cache on that signature and re-traces per new shape.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.backend import xp as np
 from repro.graph.ir import Graph, Node
@@ -44,12 +44,25 @@ class Tracer:
     Tensor identity is tracked with ``id()`` keys; the tracer keeps a
     strong reference to every tensor it has mapped so ids cannot be
     recycled mid-trace.
+
+    With ``capture_grads=True`` the tracer captures a *training* step
+    rather than an inference forward: every op's saved intermediate (the
+    fused LUT slope) is materialised as a ``Node.saved_output`` value id,
+    ``Tensor.backward`` emits its VJP applications as graph nodes (see
+    :meth:`repro.nn.tensor.Tensor.backward`), and the final gradient value
+    id of every parameter is remembered (:meth:`note_grad` /
+    :meth:`grad_vid`) so optimizer-update emission can consume it.
+    Inference traces (the default) are unchanged — no saved ids are
+    allocated, keeping their graphs identical to previous releases.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, capture_grads: bool = False) -> None:
         self.graph = Graph()
+        self.capture_grads = capture_grads
         self._value_ids: Dict[int, int] = {}
         self._keepalive: List[Tensor] = []
+        self._saved_ids: Dict[int, int] = {}
+        self._grad_ids: Dict[int, int] = {}
 
     # -- placeholder management ------------------------------------------------
 
@@ -57,6 +70,17 @@ class Tracer:
         vid = self.graph.new_value()
         self.graph.inputs.append(vid)
         self._bind(tensor, vid)
+        return vid
+
+    def add_input_array(self) -> int:
+        """Allocate a graph input with no tensor bound to it.
+
+        Used for replay-time feeds that have no trace-time Tensor — the
+        dynamic optimizer scalars (learning rate, Adam bias corrections)
+        the compiled train step computes in Python each step.
+        """
+        vid = self.graph.new_value()
+        self.graph.inputs.append(vid)
         return vid
 
     def _bind(self, tensor: Tensor, vid: int) -> None:
@@ -71,16 +95,60 @@ class Tracer:
             self._bind(tensor, vid)
         return vid
 
+    # Public aliases used by the backward capture and update emission.
+    value_of = _value_of
+
+    def saved_value_of(self, out: Tensor) -> Optional[int]:
+        """The saved-output value id recorded for ``out``, if any."""
+        return self._saved_ids.get(id(out))
+
+    def constant(self, array: Any) -> int:
+        """Bind a raw array as a graph constant and return its value id."""
+        return self.graph.add_constant(array)
+
+    def emit(self, name: str, in_vids: Sequence[int],
+             params: Optional[Dict[str, Any]] = None,
+             label: Optional[str] = None) -> int:
+        """Append a node symbolically (no computation) and return its vid.
+
+        The backward capture and the optimizer-update emission build nodes
+        for computations that eager code performs on raw arrays outside
+        apply_op; ``emit`` is their direct line into the graph.
+        """
+        out_id = self.graph.new_value()
+        self.graph.nodes.append(
+            Node(op=name, inputs=tuple(in_vids), output=out_id,
+                 params=dict(params) if params else {}, label=label)
+        )
+        return out_id
+
+    def note_grad(self, tensor: Tensor, vid: int) -> None:
+        """Remember the value id holding ``tensor``'s final gradient."""
+        self._grad_ids[id(tensor)] = vid
+        self._keepalive.append(tensor)
+
+    def grad_vid(self, tensor: Tensor) -> Optional[int]:
+        """The final-gradient value id captured for ``tensor``, if any."""
+        return self._grad_ids.get(id(tensor))
+
     # -- hooks invoked by repro.nn.tensor --------------------------------------
 
     def record_op(self, name: str, inputs: Sequence[Tensor], params: Dict[str, Any],
-                  out: Tensor) -> None:
+                  out: Tensor, saved: Any = None) -> None:
         in_ids = tuple(self._value_of(t) for t in inputs)
         out_id = self.graph.new_value()
         self._bind(out, out_id)
+        saved_id = None
+        if self.capture_grads and saved is not None:
+            # Materialise the stashed intermediate as a graph value so the
+            # traced backward consumes it instead of re-running the
+            # forward.  Inference traces never allocate these.
+            saved_id = self.graph.new_value()
+            self._saved_ids[id(out)] = saved_id
         label = params.get("name") if name in ("elementwise", "elementwise_fused") else None
         self.graph.nodes.append(
-            Node(op=name, inputs=in_ids, output=out_id, params=dict(params), label=label)
+            Node(op=name, inputs=in_ids, output=out_id, params=dict(params),
+                 label=label, saved_output=saved_id)
         )
 
     def record_alias(self, source: Tensor, alias: Tensor) -> None:
@@ -94,6 +162,10 @@ class Tracer:
             # it was handed, or a freshly built constant) still resolves:
             # _value_of binds it as a constant.
             self.graph.outputs.append(self._value_of(tensor))
+
+    def mark_output_vid(self, vid: int) -> None:
+        """Mark an already-allocated value id as a graph output."""
+        self.graph.outputs.append(vid)
 
 
 def trace(fn: Callable[..., Any], *example_inputs: Any) -> Graph:

@@ -84,6 +84,38 @@ def cross_entropy(
     return -picked.mean()
 
 
+def one_hot(targets: np.ndarray, num_classes: int) -> np.ndarray:
+    """Float64 one-hot encoding of integer ``targets`` (flattened)."""
+    flat = np.asarray(targets).reshape(-1)
+    encoded = np.zeros((flat.shape[0], num_classes))
+    encoded[np.arange(flat.shape[0]), flat] = 1.0
+    return encoded
+
+
+def cross_entropy_onehot(logits: Tensor, onehot: Tensor) -> Tensor:
+    """Mean cross-entropy against a one-hot target tensor.
+
+    The traceable-shape variant of :func:`cross_entropy` used by the
+    compiled training step: integer labels select rows via fancy indexing,
+    whose index array would be burned into a trace as a constant, so the
+    compiled path feeds ``one_hot(labels)`` as a graph *input* instead and
+    selects by multiply-and-reduce.  Losses and gradients are bit-identical
+    to :func:`cross_entropy` for the same labels: the one-hot mask zeroes
+    every non-target term exactly (``0.0 * x == ±0.0`` and the subsequent
+    sum restores the picked value's bit pattern), and below the
+    log-softmax both formulations propagate the identical cotangent.
+    ``ignore_index`` filtering is data-dependent and stays eager-only.
+
+    ``logits`` has shape ``(..., num_classes)``; ``onehot`` must be the
+    matching flattened ``(pixels, num_classes)`` float encoding.
+    """
+    num_classes = logits.shape[-1]
+    flat_logits = logits.reshape(-1, num_classes)
+    log_probs = log_softmax(flat_logits, axis=-1)
+    picked = (log_probs * onehot).sum(axis=-1)
+    return -picked.mean()
+
+
 # -- LSQ quantization primitives -------------------------------------------------
 
 

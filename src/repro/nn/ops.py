@@ -97,6 +97,91 @@ def registered_ops() -> Tuple[str, ...]:
     return tuple(sorted(_REGISTRY))
 
 
+#: Ops whose forward returns ``(output, saved)`` with an *array* saved
+#: value.  Under gradient capture the tracer materialises that saved value
+#: as a graph output of the node (``Node.saved_output``) so the traced VJP
+#: can consume it instead of recomputing the forward.
+SAVED_OUTPUT_OPS = frozenset({"elementwise_fused"})
+
+#: Element-wise registry ops: same-shape (or broadcast) array-in/array-out
+#: arithmetic with no data-dependent shape logic.  The chain-fusion pass
+#: (:func:`repro.graph.passes.fuse_elementwise_chains`) collapses
+#: single-consumer runs of these — and of their traced VJP wrappers — into
+#: one kernel.  ``elementwise``/``elementwise_fused`` are excluded: their
+#: params carry bound table callables the LUT fusion pass owns.
+ELEMENTWISE_OPS = frozenset({
+    "add", "neg", "mul", "div", "pow", "exp", "log", "sqrt", "tanh",
+    "relu", "abs", "clip", "clip_ste", "round_ste",
+})
+
+
+def vjp_op_name(name: str, argnum: int) -> str:
+    """The registry name of the traced-VJP wrapper for ``name``/``argnum``."""
+    return "vjp[%s][%d]" % (name, argnum)
+
+
+def is_vjp_op(name: str) -> bool:
+    """Whether ``name`` is a traced-VJP wrapper (graph-only, no gradients)."""
+    return name.startswith("vjp[")
+
+
+def vjp_base(name: str) -> Optional[str]:
+    """The base op a VJP wrapper differentiates, or ``None`` for plain ops."""
+    if not is_vjp_op(name):
+        return None
+    return name[len("vjp["):name.index("]")]
+
+
+def _non_differentiable(name: str):
+    def vjp_all(grad, ans, saved, *arrays, **params):
+        raise RuntimeError(
+            "op %r is a traced-graph kernel and has no gradients" % (name,)
+        )
+    return vjp_all
+
+
+def ensure_vjp_op(name: str, argnum: int) -> Op:
+    """Register (once) and return the graph-level VJP wrapper op.
+
+    The wrapper's forward computes the base op's gradient for input
+    ``argnum`` by calling the *registered* VJP with positional array inputs
+    ``(grad, ans, saved?, *base_inputs)`` — ``saved`` is present exactly
+    for :data:`SAVED_OUTPUT_OPS` — plus the base op's params.  Calling the
+    same function the eager backward calls makes the traced node
+    bit-identical by construction.  Wrappers only appear in captured
+    training graphs, never under eager autograd, so they register as
+    non-differentiable.
+    """
+    wrapper_name = vjp_op_name(name, argnum)
+    existing = _REGISTRY.get(wrapper_name)
+    if existing is not None:
+        return existing
+    base = get_op(name)
+    has_saved = name in SAVED_OUTPUT_OPS
+    if base.vjp_all is not None:
+        if has_saved:
+            def forward(grad, ans, saved, *arrays, _fn=base.vjp_all, _i=argnum, **params):
+                return _fn(grad, ans, saved, *arrays, **params)[_i]
+        else:
+            def forward(grad, ans, *arrays, _fn=base.vjp_all, _i=argnum, **params):
+                return _fn(grad, ans, None, *arrays, **params)[_i]
+    else:
+        if not 0 <= argnum < len(base.vjps):
+            raise ValueError(
+                "op %r has %d inputs; no vjp for argnum %d"
+                % (name, len(base.vjps), argnum)
+            )
+        if has_saved:
+            def forward(grad, ans, saved, *arrays, _fn=base.vjps[argnum], **params):
+                return _fn(grad, ans, saved, *arrays, **params)
+        else:
+            def forward(grad, ans, *arrays, _fn=base.vjps[argnum], **params):
+                return _fn(grad, ans, None, *arrays, **params)
+    return register_op(
+        wrapper_name, forward=forward, vjp_all=_non_differentiable(wrapper_name)
+    )
+
+
 def run_forward(op: Op, *arrays: Array, **params: Any) -> Tuple[Array, Any]:
     """Execute an op's forward, normalising to ``(output, saved)``."""
     result = op.forward(*arrays, **params)
@@ -220,6 +305,34 @@ register_op(
     "getitem",
     forward=lambda a, index: a[index],
     vjps=(_getitem_vjp,),
+)
+
+
+def unbroadcast_array(grad: Array, shape: Tuple[int, ...]) -> Array:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``.
+
+    The canonical sum-to-shape both the eager backward
+    (:meth:`repro.nn.tensor.Tensor.backward`'s single unbroadcast site) and
+    the captured training graph's ``unbroadcast`` nodes run — one
+    implementation, so eager and compiled gradients agree bit for bit.
+    """
+    shape = tuple(shape)
+    if grad.shape == shape:
+        return grad
+    # Sum leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum dimensions that were size-1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+register_op(
+    "unbroadcast",
+    forward=unbroadcast_array,
+    vjps=(lambda g, ans, s, a, shape: np.broadcast_to(g, a.shape),),
 )
 
 

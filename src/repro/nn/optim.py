@@ -1,12 +1,32 @@
-"""Optimisers for the numpy training substrate."""
+"""Optimisers for the numpy training substrate.
+
+``SGD`` and ``Adam`` additionally support *traced updates* for compiled
+training (:class:`repro.graph.executor.CompiledTrainStep`): ``trace_step``
+emits the update rule as graph nodes mirroring the eager ``step()``
+arithmetic expression for expression — same ops, same evaluation order, so
+replayed updates are bit-identical — and then performs the real eager step
+(the trace step *is* a training step).  Hyper-parameters that are fixed for
+a run (betas, eps, momentum, weight decay) become graph constants; values
+the Python side advances per step (the scheduled learning rate, Adam's
+bias corrections) become 0-d array inputs fed at each replay.
+"""
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.backend import xp as np
 
 from repro.nn.module import Parameter
+
+#: trace_step return type: (feeds, updates, advance) — per-replay input
+#: sources [(vid, fn)], output rebinding [(vid, apply)], and the per-step
+#: Python bookkeeping the replay must run after rebinding.
+TraceStepPlan = Tuple[
+    List[Tuple[int, Callable[[], Any]]],
+    List[Tuple[int, Callable[[Any], None]]],
+    Callable[[], None],
+]
 
 
 class Optimizer:
@@ -76,6 +96,61 @@ class SGD(Optimizer):
                 grad = velocity
             param.data = param.data - self.lr * grad
 
+    def trace_step(self, tracer, param_vids: Dict[int, int]) -> TraceStepPlan:
+        """Emit this step's updates as graph nodes, then run the real step.
+
+        ``param_vids`` maps ``id(param)`` to the graph-input value id the
+        parameter was pre-bound to.  Each emitted expression mirrors
+        :meth:`step` exactly: ``grad + wd*p``, ``v*mu + grad``,
+        ``p - lr*grad`` (as ``p + (-lr*grad)`` — IEEE-identical).  The
+        learning rate is a per-replay feed so the cosine schedule keeps
+        driving it from Python.
+        """
+        feeds: List[Tuple[int, Callable[[], Any]]] = []
+        updates: List[Tuple[int, Callable[[Any], None]]] = []
+        lr_vid = tracer.add_input_array()
+        feeds.append((lr_vid, lambda: np.asarray(self.lr)))
+        wd_vid = (
+            tracer.constant(np.asarray(self.weight_decay))
+            if self.weight_decay else None
+        )
+        momentum_vid = (
+            tracer.constant(np.asarray(self.momentum)) if self.momentum else None
+        )
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad_vid = tracer.grad_vid(param)
+            if grad_vid is None:
+                raise RuntimeError(
+                    "parameter has a .grad but no captured gradient; was "
+                    "backward() run under the gradient-capturing tracer?"
+                )
+            param_vid = param_vids[id(param)]
+            if self.weight_decay:   # grad = grad + wd * param
+                decay_vid = tracer.emit("mul", (wd_vid, param_vid))
+                grad_vid = tracer.emit("add", (grad_vid, decay_vid))
+            if self.momentum:       # velocity = velocity * mu + grad
+                velocity_vid = tracer.add_input_array()
+                feeds.append((velocity_vid, lambda i=index: self._velocity[i]))
+                scaled_vid = tracer.emit("mul", (velocity_vid, momentum_vid))
+                new_velocity = tracer.emit("add", (scaled_vid, grad_vid))
+                updates.append((
+                    new_velocity,
+                    lambda array, i=index: self._velocity.__setitem__(i, array),
+                ))
+                grad_vid = new_velocity
+            # param = param - lr * grad  (emitted as param + (-(lr * grad)))
+            step_vid = tracer.emit("mul", (lr_vid, grad_vid))
+            new_param = tracer.emit(
+                "add", (param_vid, tracer.emit("neg", (step_vid,)))
+            )
+            updates.append((
+                new_param, lambda array, p=param: setattr(p, "data", array)
+            ))
+        self.step()
+        return feeds, updates, lambda: None
+
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()
         state["velocity"] = [velocity.copy() for velocity in self._velocity]
@@ -118,6 +193,93 @@ class Adam(Optimizer):
             m_hat = self._m[i] / (1 - self.beta1 ** self._step)
             v_hat = self._v[i] / (1 - self.beta2 ** self._step)
             param.data = param.data - self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def trace_step(self, tracer, param_vids: Dict[int, int]) -> TraceStepPlan:
+        """Emit this step's updates as graph nodes, then run the real step.
+
+        Mirrors :meth:`step` bit-for-bit: moment updates as
+        ``b*m + (1-b)*g`` (with ``g**2`` via the ``pow`` op), bias
+        corrections ``1 - b**t`` fed per replay as 0-d inputs (``t`` is the
+        *post*-advance step count, matching eager's increment-first order),
+        and the parameter update ``p - lr*m_hat/(sqrt(v_hat)+eps)`` emitted
+        as ``p + (-(lr*m_hat/(sqrt(v_hat)+eps)))`` — IEEE-identical.
+        """
+        feeds: List[Tuple[int, Callable[[], Any]]] = []
+        updates: List[Tuple[int, Callable[[Any], None]]] = []
+        lr_vid = tracer.add_input_array()
+        feeds.append((lr_vid, lambda: np.asarray(self.lr)))
+        correction1_vid = tracer.add_input_array()
+        feeds.append((
+            correction1_vid,
+            lambda: np.asarray(1 - self.beta1 ** (self._step + 1)),
+        ))
+        correction2_vid = tracer.add_input_array()
+        feeds.append((
+            correction2_vid,
+            lambda: np.asarray(1 - self.beta2 ** (self._step + 1)),
+        ))
+        beta1_vid = tracer.constant(np.asarray(self.beta1))
+        omb1_vid = tracer.constant(np.asarray(1 - self.beta1))
+        beta2_vid = tracer.constant(np.asarray(self.beta2))
+        omb2_vid = tracer.constant(np.asarray(1 - self.beta2))
+        eps_vid = tracer.constant(np.asarray(self.eps))
+        wd_vid = (
+            tracer.constant(np.asarray(self.weight_decay))
+            if self.weight_decay else None
+        )
+        for index, param in enumerate(self.parameters):
+            if param.grad is None:
+                continue
+            grad_vid = tracer.grad_vid(param)
+            if grad_vid is None:
+                raise RuntimeError(
+                    "parameter has a .grad but no captured gradient; was "
+                    "backward() run under the gradient-capturing tracer?"
+                )
+            param_vid = param_vids[id(param)]
+            if self.weight_decay:   # grad = grad + wd * param
+                decay_vid = tracer.emit("mul", (wd_vid, param_vid))
+                grad_vid = tracer.emit("add", (grad_vid, decay_vid))
+            m_vid = tracer.add_input_array()
+            feeds.append((m_vid, lambda i=index: self._m[i]))
+            v_vid = tracer.add_input_array()
+            feeds.append((v_vid, lambda i=index: self._v[i]))
+            # m = beta1*m + (1-beta1)*grad ; v = beta2*v + (1-beta2)*grad**2
+            m_new = tracer.emit("add", (
+                tracer.emit("mul", (beta1_vid, m_vid)),
+                tracer.emit("mul", (omb1_vid, grad_vid)),
+            ))
+            grad_sq = tracer.emit("pow", (grad_vid,), {"exponent": 2})
+            v_new = tracer.emit("add", (
+                tracer.emit("mul", (beta2_vid, v_vid)),
+                tracer.emit("mul", (omb2_vid, grad_sq)),
+            ))
+            updates.append((
+                m_new, lambda array, i=index: self._m.__setitem__(i, array)
+            ))
+            updates.append((
+                v_new, lambda array, i=index: self._v.__setitem__(i, array)
+            ))
+            m_hat = tracer.emit("div", (m_new, correction1_vid))
+            v_hat = tracer.emit("div", (v_new, correction2_vid))
+            # param = param - lr * m_hat / (sqrt(v_hat) + eps)
+            numer_vid = tracer.emit("mul", (lr_vid, m_hat))
+            denom_vid = tracer.emit(
+                "add", (tracer.emit("sqrt", (v_hat,)), eps_vid)
+            )
+            step_vid = tracer.emit("div", (numer_vid, denom_vid))
+            new_param = tracer.emit(
+                "add", (param_vid, tracer.emit("neg", (step_vid,)))
+            )
+            updates.append((
+                new_param, lambda array, p=param: setattr(p, "data", array)
+            ))
+        self.step()
+
+        def advance() -> None:
+            self._step += 1
+
+        return feeds, updates, advance
 
     def state_dict(self) -> Dict[str, Any]:
         state = super().state_dict()

@@ -76,18 +76,10 @@ def tracing(tracer):
         _TRACER = None
 
 
-def _unbroadcast(grad, shape: Tuple[int, ...]):
-    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
-    if grad.shape == shape:
-        return grad
-    # Sum leading dimensions added by broadcasting.
-    while grad.ndim > len(shape):
-        grad = grad.sum(axis=0)
-    # Sum dimensions that were size-1 in the original shape.
-    for axis, size in enumerate(shape):
-        if size == 1 and grad.shape[axis] != 1:
-            grad = grad.sum(axis=axis, keepdims=True)
-    return grad.reshape(shape)
+# The single sum-to-shape implementation, shared with the registered
+# ``unbroadcast`` op so traced training graphs replay the exact function
+# the eager backward runs.
+_unbroadcast = _ops.unbroadcast_array
 
 
 class _OpBackward:
@@ -106,6 +98,58 @@ class _OpBackward:
         return _ops.input_grads(
             self.op, grad, ans, self.saved, self.arrays, self.params, self.needed
         )
+
+
+def _emit_vjp_node(tracer, node: "Tensor", argnum: int, grad_vid: int) -> int:
+    """Emit graph node(s) computing one VJP of ``node`` w.r.t. input ``argnum``.
+
+    Called from :meth:`Tensor.backward` under gradient capture, *alongside*
+    the eager VJP evaluation — the returned value id computes exactly the
+    array the eager call produced.  The common arithmetic VJPs lower to
+    primitive nodes mirroring the registered VJP's expression term for term
+    (so constant folding and chain fusion see through them); everything
+    else goes through a ``vjp[<op>][<argnum>]`` wrapper op that calls the
+    identical registered VJP function (bit-identical trivially).
+    """
+    backward = node._backward
+    op_name = backward.op.name
+    emit = tracer.emit
+    in_vids = tuple(tracer.value_of(parent) for parent in node._parents)
+    if op_name == "add":            # vjp: g
+        return grad_vid
+    if op_name == "neg":            # vjp: -g
+        return emit("neg", (grad_vid,))
+    if op_name == "mul":            # vjp: g * other
+        return emit("mul", (grad_vid, in_vids[1 - argnum]))
+    if op_name == "exp":            # vjp: g * ans
+        return emit("mul", (grad_vid, tracer.value_of(node)))
+    if op_name == "div":
+        if argnum == 0:             # vjp: g / b
+            return emit("div", (grad_vid, in_vids[1]))
+        # vjp: -g * a / (b ** 2), in Python evaluation order
+        negated = emit("neg", (grad_vid,))
+        numerator = emit("mul", (negated, in_vids[0]))
+        denominator = emit("pow", (in_vids[1],), {"exponent": 2})
+        return emit("div", (numerator, denominator))
+    if op_name == "elementwise_fused":  # vjp: g * slope (the saved output)
+        saved_vid = tracer.saved_value_of(node)
+        if saved_vid is None:
+            raise RuntimeError(
+                "elementwise_fused output has no captured slope; was the "
+                "forward traced with capture_grads?"
+            )
+        return emit("mul", (grad_vid, saved_vid))
+    wrapper = _ops.ensure_vjp_op(op_name, argnum)
+    inputs = [grad_vid, tracer.value_of(node)]
+    if op_name in _ops.SAVED_OUTPUT_OPS:
+        saved_vid = tracer.saved_value_of(node)
+        if saved_vid is None:
+            raise RuntimeError(
+                "op %r output has no captured saved value" % (op_name,)
+            )
+        inputs.append(saved_vid)
+    inputs.extend(in_vids)
+    return emit(wrapper.name, tuple(inputs), dict(backward.params))
 
 
 class Tensor:
@@ -322,6 +366,14 @@ class Tensor:
             grad = np.ones_like(self.data)
         grad = np.asarray(grad, dtype=np.float64)
 
+        # Under an active gradient-capturing tracer the eager traversal
+        # below additionally *emits* every VJP application as graph nodes,
+        # mirroring each eager expression exactly — the capture is the
+        # computation, so compiled replays are bit-identical by
+        # construction (see repro.graph docs).
+        tracer = _TRACER
+        capture = tracer is not None and getattr(tracer, "capture_grads", False)
+
         topo: List[Tensor] = []
         visited = set()
 
@@ -335,27 +387,52 @@ class Tensor:
 
         build(self)
         grads = {id(self): grad}
+        grad_vids = {id(self): tracer.constant(grad)} if capture else None
         for node in reversed(topo):
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
+            node_grad_vid = grad_vids.pop(id(node)) if capture else None
             if node.requires_grad:
+                if capture and node.grad is not None:
+                    raise RuntimeError(
+                        "backward() under gradient capture requires zeroed "
+                        "grads (tensor already carries a .grad the graph "
+                        "cannot see)"
+                    )
                 node.grad = (
                     node_grad.copy() if node.grad is None else node.grad + node_grad
                 )
+                if capture:
+                    # In reversed topo order every consumer was already
+                    # processed, so this accumulated value is final.
+                    tracer.note_grad(node, node_grad_vid)
             if node._backward is None:
                 continue
             parent_grads = node._backward(node_grad, node.data)
-            for parent, parent_grad in zip(node._parents, parent_grads):
+            for argnum, (parent, parent_grad) in enumerate(
+                zip(node._parents, parent_grads)
+            ):
                 if parent_grad is None or not parent.requires_grad:
                     continue
-                contribution = _unbroadcast(
-                    np.asarray(parent_grad, dtype=np.float64), parent.data.shape
-                )
+                raw = np.asarray(parent_grad, dtype=np.float64)
+                contribution = _unbroadcast(raw, parent.data.shape)
+                if capture:
+                    vid = _emit_vjp_node(tracer, node, argnum, node_grad_vid)
+                    if raw.shape != parent.data.shape:
+                        vid = tracer.emit(
+                            "unbroadcast", (vid,), {"shape": parent.data.shape}
+                        )
                 if id(parent) in grads:
                     grads[id(parent)] = grads[id(parent)] + contribution
+                    if capture:
+                        grad_vids[id(parent)] = tracer.emit(
+                            "add", (grad_vids[id(parent)], vid)
+                        )
                 else:
                     grads[id(parent)] = contribution
+                    if capture:
+                        grad_vids[id(parent)] = vid
         if not retain_graph:
             for node in topo:
                 if node._backward is not None:
@@ -385,7 +462,7 @@ def apply_op(op_name: str, *inputs, **params) -> Tensor:
         needed = tuple(t.requires_grad for t in tensors)
         out._backward = _OpBackward(op, saved, arrays, params, needed)
     if _TRACER is not None:
-        _TRACER.record_op(op_name, tensors, params, out)
+        _TRACER.record_op(op_name, tensors, params, out, saved)
     return out
 
 

@@ -335,6 +335,7 @@ class Trainer:
         checkpoint_path: Optional[Union[str, Path]] = None,
         checkpoint_every: int = 1,
         resume: bool = False,
+        train_engine: Optional[str] = None,
     ) -> TrainingResult:
         """Train the model and evaluate on the validation split.
 
@@ -346,6 +347,16 @@ class Trainer:
         the batch-shuffling RNG resumes mid-stream too.  A missing file
         starts from scratch; a corrupt one raises
         :class:`CheckpointCorruptError` rather than training on garbage.
+
+        ``train_engine`` selects the per-step training path (``"eager"``
+        | ``"compiled"``), resolving through
+        :mod:`repro.core.engine_config` (kwarg > context >
+        ``REPRO_TRAIN_ENGINE`` > ``"eager"``).  The compiled engine traces
+        the whole step — forward, backward and optimizer update — once per
+        batch shape and replays the optimised static plan every subsequent
+        step (:class:`repro.graph.executor.CompiledTrainStep`).  Losses,
+        final weights, optimizer buffers and checkpoints are bit-identical
+        across engines; only speed differs.
         """
         started = time.time()
         config = self.config
@@ -374,13 +385,35 @@ class Trainer:
             extra = meta.get("extra", {})
             start_epoch = int(extra.get("epoch", 0))
             losses = [float(value) for value in extra.get("losses", [])]
+        from repro.core.engine_config import resolve_train_engine
+
+        compiled_step = None
+        if resolve_train_engine(train_engine) == "compiled":
+            from repro.graph.executor import CompiledTrainStep
+
+            # Built after any resume restore so the first trace binds the
+            # restored parameter/optimizer arrays, not the initial ones.
+            compiled_step = CompiledTrainStep(
+                self.model, optimizer, num_classes, schedule=schedule
+            )
         self.model.train()
         for epoch in range(start_epoch, config.epochs):
             for images, labels in self._batches(train_images, train_labels):
+                if compiled_step is not None:
+                    losses.append(compiled_step.step(images, labels))
+                    continue
                 logits = self.model(Tensor(images))
                 loss = F.cross_entropy(logits, labels)
                 optimizer.zero_grad()
                 loss.backward()
+                # backward() (retain_graph defaults to False) must have
+                # released the tape here; a retained graph would pin every
+                # intermediate activation of the run in memory.
+                if loss._backward is not None or loss._parents:
+                    raise RuntimeError(
+                        "training step leaked its autograd tape: backward() "
+                        "left the loss graph retained"
+                    )
                 optimizer.step()
                 schedule.step()
                 losses.append(loss.item())

@@ -254,6 +254,41 @@ class TestResumeMidFinetune:
         # come out of the checkpoint, the replayed ones match bit-exactly.
         assert result.losses == reference_result.losses
 
+    def test_compiled_resume_after_crash_matches_uninterrupted_eager(
+        self, tmp_path
+    ):
+        """The full cross-engine chaos contract: train compiled, crash at
+        the epoch-3 checkpoint, resume *compiled* from epoch 2 — and land
+        bit-exactly on the weights of an uninterrupted **eager** run.
+        Exercises CompiledTrainStep's staleness invalidation too: the
+        resume's load_checkpoint rebinds every parameter and buffer."""
+        images, labels = self._data()
+        path = tmp_path / "finetune.npz"
+
+        reference = self._trainer()
+        reference_result = reference.fit(images, labels, num_classes=3)
+
+        interrupted = self._trainer()
+        plan = FaultPlan(
+            specs=(FaultSpec(site="trainer.checkpoint", fail_calls=(5,)),)
+        )
+        with inject(plan):
+            with pytest.raises(InjectedFault):
+                interrupted.fit(
+                    images, labels, num_classes=3, checkpoint_path=path,
+                    train_engine="compiled",
+                )
+        assert load_checkpoint(path)["extra"]["epoch"] == 2
+
+        resumed = self._trainer()
+        result = resumed.fit(
+            images, labels, num_classes=3, checkpoint_path=path,
+            resume=True, train_engine="compiled",
+        )
+        for name, value in reference.model.state_dict().items():
+            np.testing.assert_array_equal(resumed.model.state_dict()[name], value)
+        assert result.losses == reference_result.losses
+
     def test_resume_with_missing_checkpoint_starts_fresh(self, tmp_path):
         images, labels = self._data()
         trainer = self._trainer()

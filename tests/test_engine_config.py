@@ -15,6 +15,7 @@ from repro.core.engine_config import (
     INFER_ENGINE_ENV,
     PWL_ENGINE_ENV,
     SWEEP_WORKERS_ENV,
+    TRAIN_ENGINE_ENV,
     EngineConfig,
     current,
     resolve_artifact_dir,
@@ -22,6 +23,7 @@ from repro.core.engine_config import (
     resolve_infer_engine,
     resolve_pwl_engine,
     resolve_sweep_workers,
+    resolve_train_engine,
     use,
 )
 
@@ -44,6 +46,8 @@ class TestDefaults:
             EngineConfig(sweep_workers=-1)
         with pytest.raises(ValueError):
             EngineConfig(infer_engine="jit")
+        with pytest.raises(ValueError):
+            EngineConfig(train_engine="jit")
 
     def test_infer_engine_resolution_order(self, monkeypatch):
         monkeypatch.setenv(INFER_ENGINE_ENV, "compiled")
@@ -53,6 +57,26 @@ class TestDefaults:
             assert resolve_infer_engine("compiled") == "compiled"
         with pytest.raises(ValueError):
             resolve_infer_engine("jit")
+
+    def test_train_engine_defaults_to_eager(self):
+        assert current().train_engine == "eager"
+        assert resolve_train_engine() == "eager"
+
+    def test_train_engine_resolution_order(self, monkeypatch):
+        monkeypatch.setenv(TRAIN_ENGINE_ENV, "compiled")
+        assert resolve_train_engine() == "compiled"
+        with use(train_engine="eager"):
+            assert resolve_train_engine() == "eager"
+            assert resolve_train_engine("compiled") == "compiled"
+        with pytest.raises(ValueError):
+            resolve_train_engine("jit")
+
+    def test_train_engine_independent_of_infer_engine(self, monkeypatch):
+        monkeypatch.setenv(INFER_ENGINE_ENV, "compiled")
+        assert resolve_train_engine() == "eager"
+        with use(train_engine="compiled"):
+            assert resolve_infer_engine() == "compiled"
+            assert resolve_train_engine() == "compiled"
 
 
 class TestResolutionOrder:

@@ -14,22 +14,28 @@ from repro.core.lut import DenseLUT
 from repro.core.pwl import PiecewiseLinear, fit_pwl, uniform_breakpoints
 from repro.functions.registry import get_function
 from repro.graph import (
+    TRAIN_PASSES,
     CompiledGraph,
     CompiledModel,
+    CompiledTrainStep,
     Graph,
     Node,
+    Tracer,
     compile_model,
     dead_code_elimination,
     fold_constants,
     fuse_dense_lookups,
+    fuse_elementwise_chains,
     optimize,
     plan_memory,
     trace,
 )
-from repro.nn.approx import PWLActivation, PWLSuite, PWLWideRange
+from repro.nn import functional as F
+from repro.nn.approx import FloatSuite, PWLActivation, PWLSuite, PWLWideRange
 from repro.nn.models import MiniEfficientViT, MiniSegformer, ModelConfig
 from repro.nn.module import Module, Parameter
-from repro.nn.tensor import Tensor, no_grad
+from repro.nn.optim import SGD, Adam, CosineSchedule
+from repro.nn.tensor import Tensor, no_grad, tracing
 from repro.nn.training import Trainer, TrainingConfig, prepare_quantized_model
 from repro.quant.quantizer import QuantSpec
 
@@ -354,3 +360,419 @@ class TestNNLUTInferEngine:
         np.testing.assert_array_equal(
             compiled.lookup_codes(codes), legacy.lookup_dequantized(codes)
         )
+
+
+# -- compiled training (PR 9) ----------------------------------------------------
+
+
+class _TinyTrainNet(Module):
+    """Two-parameter net whose training step exercises matmul, broadcast
+    bias, an elementwise nonlinearity and the softmax-CE loss."""
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        rng = np.random.default_rng(seed)
+        self.weight = Parameter(rng.normal(size=(2, 3)))
+        self.bias = Parameter(np.zeros(3))
+
+    def forward(self, x):
+        return ((x @ self.weight) + self.bias).tanh()
+
+
+def _tiny_batch(seed: int = 1, batch: int = 4):
+    rng = np.random.default_rng(seed)
+    return rng.normal(size=(batch, 2)), rng.integers(0, 3, size=(batch,))
+
+
+def _eager_train_steps(model, optimizer, schedule, batches):
+    """The exact Trainer.fit eager loop body, as a parity reference."""
+    model.train()
+    losses = []
+    for images, labels in batches:
+        logits = model(Tensor(images))
+        loss = F.cross_entropy(logits, labels)
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        if schedule is not None:
+            schedule.step()
+        losses.append(loss.item())
+    return losses
+
+
+def _optim_buffers(optimizer):
+    out = {}
+    for group in ("_velocity", "_m", "_v"):
+        buffers = getattr(optimizer, group, None)
+        if buffers is not None:
+            out[group] = [np.asarray(buffer).copy() for buffer in buffers]
+    return out
+
+
+class TestBackwardCapture:
+    def test_backward_emits_vjp_nodes_and_grad_vid(self):
+        tracer = Tracer(capture_grads=True)
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        tracer.add_input(x)
+        with tracing(tracer):
+            y = (x.exp() * 3.0).sum()
+            y.backward()
+        grad_vid = tracer.grad_vid(x)
+        assert grad_vid is not None
+        ops = [node.op for node in tracer.graph.nodes]
+        # The backward traversal was recorded: sum's VJP goes through its
+        # lazily-registered wrapper, exp's VJP lowers to a plain mul.
+        assert "vjp[sum][0]" in ops
+        assert ops.count("mul") >= 2
+
+    def test_captured_gradient_replays_bitwise(self):
+        tracer = Tracer(capture_grads=True)
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        tracer.add_input(x)
+        with tracing(tracer):
+            y = ((x * 2.0).tanh() + x).sum()
+            y.backward()
+        tracer.mark_output_vid(tracer.grad_vid(x))
+        tracer.graph.validate()
+        compiled = CompiledGraph(optimize(tracer.graph, TRAIN_PASSES))
+        other = np.random.default_rng(5).normal(size=(2, 3))
+        x2 = Tensor(other, requires_grad=True)
+        ((x2 * 2.0).tanh() + x2).sum().backward()
+        np.testing.assert_array_equal(compiled.run(other)[0], x2.grad)
+
+    def test_unbroadcast_node_emitted_for_broadcast_grad(self):
+        tracer = Tracer(capture_grads=True)
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        bias = Tensor(np.zeros(3), requires_grad=True)
+        tracer.add_input(x)
+        tracer.add_input(bias)
+        with tracing(tracer):
+            (x + bias).sum().backward()
+        assert "unbroadcast" in [node.op for node in tracer.graph.nodes]
+        tracer.mark_output_vid(tracer.grad_vid(bias))
+        compiled = CompiledGraph(optimize(tracer.graph, TRAIN_PASSES))
+        other = np.random.default_rng(6).normal(size=(4, 3))
+        x2 = Tensor(other, requires_grad=True)
+        bias2 = Tensor(np.zeros(3), requires_grad=True)
+        (x2 + bias2).sum().backward()
+        np.testing.assert_array_equal(
+            compiled.run(other, np.zeros(3))[0], bias2.grad
+        )
+
+    def test_capture_requires_zeroed_grads(self):
+        tracer = Tracer(capture_grads=True)
+        x = Tensor(np.ones(3), requires_grad=True)
+        x.grad = np.ones(3)
+        tracer.add_input(x)
+        with tracing(tracer):
+            with pytest.raises(RuntimeError, match="zeroed"):
+                (x * 2.0).sum().backward()
+
+
+class TestFuseElementwiseChains:
+    @staticmethod
+    def _linear_chain():
+        graph = Graph()
+        x = graph.new_value()
+        graph.inputs.append(x)
+        a = graph.new_value()
+        graph.nodes.append(Node(op="exp", inputs=(x,), output=a))
+        b = graph.new_value()
+        graph.nodes.append(Node(op="neg", inputs=(a,), output=b))
+        c = graph.new_value()
+        graph.nodes.append(Node(op="tanh", inputs=(b,), output=c))
+        graph.outputs.append(c)
+        return graph
+
+    def test_linear_chain_fuses_to_one_node(self):
+        fused = fuse_elementwise_chains(self._linear_chain())
+        assert [node.op for node in fused.nodes] == ["fused_chain"]
+        assert fused.nodes[0].label == "exp,neg,tanh"
+        x = np.random.default_rng(0).normal(size=(3, 4))
+        np.testing.assert_array_equal(
+            CompiledGraph(fused).run(x)[0], np.tanh(-np.exp(x))
+        )
+
+    def test_chain_with_external_operand(self):
+        graph = Graph()
+        x = graph.new_value()
+        graph.inputs.append(x)
+        scale = graph.add_constant(np.asarray(2.5))
+        a = graph.new_value()
+        graph.nodes.append(Node(op="mul", inputs=(x, scale), output=a))
+        b = graph.new_value()
+        graph.nodes.append(Node(op="exp", inputs=(a,), output=b))
+        graph.outputs.append(b)
+        fused = fuse_elementwise_chains(graph)
+        assert [node.op for node in fused.nodes] == ["fused_chain"]
+        x_val = np.random.default_rng(1).normal(size=(2, 3))
+        np.testing.assert_array_equal(
+            CompiledGraph(fused).run(x_val)[0], np.exp(x_val * 2.5)
+        )
+
+    def test_multi_consumer_value_breaks_the_chain(self):
+        graph = Graph()
+        x = graph.new_value()
+        graph.inputs.append(x)
+        a = graph.new_value()
+        graph.nodes.append(Node(op="exp", inputs=(x,), output=a))
+        b = graph.new_value()
+        graph.nodes.append(Node(op="neg", inputs=(a,), output=b))
+        c = graph.new_value()
+        graph.nodes.append(Node(op="mul", inputs=(a, b), output=c))
+        graph.outputs.append(c)
+        fused = fuse_elementwise_chains(graph)
+        # exp feeds two consumers, so it cannot start a chain; neg -> mul
+        # still fuses, with exp's (multi-consumed) output as an external
+        # operand of the fused kernel.
+        assert [node.op for node in fused.nodes] == ["exp", "fused_chain"]
+        assert fused.nodes[1].label == "neg,mul"
+        x_val = np.random.default_rng(3).normal(size=(4,))
+        np.testing.assert_array_equal(
+            CompiledGraph(fused).run(x_val)[0],
+            np.exp(x_val) * -np.exp(x_val),
+        )
+
+    def test_graph_output_midway_breaks_the_chain(self):
+        graph = self._linear_chain()
+        graph.outputs.append(graph.nodes[0].output)  # exp is now an output
+        fused = fuse_elementwise_chains(graph)
+        ops = [node.op for node in fused.nodes]
+        assert "exp" in ops  # kept live as an observable output
+        assert "fused_chain" in ops  # neg->tanh still fuses
+        x = np.random.default_rng(2).normal(size=(5,))
+        tanh_out, exp_out = CompiledGraph(fused).run(x)
+        np.testing.assert_array_equal(exp_out, np.exp(x))
+        np.testing.assert_array_equal(tanh_out, np.tanh(-np.exp(x)))
+
+    def test_train_passes_fuse_the_joint_graph(self):
+        """The TRAIN_PASSES pipeline shrinks the forward+backward+update
+        graph without changing replayed results (covered by the parity
+        tests below); unfused vs fused node counts pin the win."""
+        x, labels = _tiny_batch()
+        counts = {}
+        for key, passes in (
+            ("unfused", ("fold", "fuse", "dce")),
+            ("fused", TRAIN_PASSES),
+        ):
+            model = _TinyTrainNet()
+            model.train()
+            step = CompiledTrainStep(
+                model,
+                SGD(model.parameters(), lr=0.05, momentum=0.9),
+                3,
+                passes=passes,
+            )
+            step.step(x, labels)
+            (plan,) = step._cache.values()
+            counts[key] = plan.compiled.num_steps
+        assert counts["fused"] < counts["unfused"]
+        fused_graph_ops = set()
+        model = _TinyTrainNet()
+        model.train()
+        step = CompiledTrainStep(
+            model, SGD(model.parameters(), lr=0.05, momentum=0.9), 3
+        )
+        step.step(x, labels)
+        (plan,) = step._cache.values()
+        fused_graph_ops = [n.op for n in plan.compiled.graph.nodes]
+        assert "fused_chain" in fused_graph_ops
+
+
+class TestCompiledTrainStep:
+    @pytest.mark.parametrize(
+        "make_optimizer",
+        [
+            lambda params: SGD(params, lr=0.05),
+            lambda params: SGD(params, lr=0.05, momentum=0.9,
+                               weight_decay=1e-4),
+            lambda params: Adam(params, lr=0.01, weight_decay=1e-4),
+        ],
+        ids=["sgd", "sgd-momentum-wd", "adam-wd"],
+    )
+    def test_replay_bit_identical_to_eager(self, make_optimizer):
+        batches = [_tiny_batch(seed) for seed in range(5)]
+
+        eager_model = _TinyTrainNet()
+        eager_opt = make_optimizer(eager_model.parameters())
+        eager_sched = CosineSchedule(eager_opt, total_steps=5)
+        eager_losses = _eager_train_steps(
+            eager_model, eager_opt, eager_sched, batches
+        )
+
+        model = _TinyTrainNet()
+        optimizer = make_optimizer(model.parameters())
+        schedule = CosineSchedule(optimizer, total_steps=5)
+        model.train()
+        step = CompiledTrainStep(model, optimizer, 3, schedule=schedule)
+        losses = [step.step(images, labels) for images, labels in batches]
+
+        assert losses == eager_losses
+        assert step.replay_count == 4  # one trace, four replays
+        for name, value in eager_model.state_dict().items():
+            np.testing.assert_array_equal(model.state_dict()[name], value)
+        for group, buffers in _optim_buffers(eager_opt).items():
+            for reference, actual in zip(
+                buffers, _optim_buffers(optimizer)[group]
+            ):
+                np.testing.assert_array_equal(actual, reference)
+        assert optimizer.lr == eager_opt.lr
+
+    def test_shape_specialisation_per_batch_signature(self):
+        model = _TinyTrainNet()
+        model.train()
+        step = CompiledTrainStep(model, SGD(model.parameters(), lr=0.05), 3)
+        full = _tiny_batch(1, batch=4)
+        short = _tiny_batch(2, batch=2)
+        step.step(*full)
+        step.step(*short)
+        step.step(*full)
+        step.step(*short)
+        stats = step.stats()
+        assert stats["specializations"] == 2
+        assert stats["compile_count"] == 2
+        assert stats["replay_count"] == 2
+
+    def test_external_rebind_invalidates_cache(self):
+        model = _TinyTrainNet()
+        model.train()
+        step = CompiledTrainStep(model, SGD(model.parameters(), lr=0.05), 3)
+        x, labels = _tiny_batch()
+        step.step(x, labels)
+        step.step(x, labels)
+        assert step.compile_count == 1
+        # Checkpoint-restore style rebinding: load_state_dict swaps every
+        # parameter's array identity, so the cached plan would silently
+        # keep training the *old* arrays.  The staleness check re-traces.
+        model.load_state_dict(model.state_dict())
+        step.step(x, labels)
+        assert step.compile_count == 2
+        step.step(x, labels)
+        assert step.compile_count == 2  # back to replaying
+
+    def test_stats_pin_plan_memory(self):
+        """Working-set regression pin for the joint graph's buffer plan."""
+        model = _TinyTrainNet()
+        model.train()
+        step = CompiledTrainStep(
+            model, SGD(model.parameters(), lr=0.05, momentum=0.9), 3
+        )
+        x, labels = _tiny_batch()
+        step.step(x, labels)
+        step.step(x, labels)
+        (per_signature,) = step.stats()["signatures"].values()
+        assert per_signature == {
+            "nodes": 28,
+            "peak_live": 19,
+            "num_slots": 22,
+            "outputs": 5,
+        }
+
+    def test_eval_mode_rejected(self):
+        model = _TinyTrainNet()
+        model.eval()
+        step = CompiledTrainStep(model, SGD(model.parameters(), lr=0.05), 3)
+        with pytest.raises(RuntimeError, match="train"):
+            step.step(*_tiny_batch())
+
+    def test_dropout_rejected(self):
+        from repro.nn.layers import Dropout
+
+        class WithDropout(_TinyTrainNet):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5)
+
+            def forward(self, x):
+                return self.drop(super().forward(x))
+
+        model = WithDropout()
+        with pytest.raises(ValueError, match="Dropout"):
+            CompiledTrainStep(model, SGD(model.parameters(), lr=0.05), 3)
+
+    def test_optimizer_without_trace_step_rejected(self):
+        class Plain:
+            def __init__(self, params):
+                self.parameters = list(params)
+
+        model = _TinyTrainNet()
+        with pytest.raises(TypeError, match="trace_step"):
+            CompiledTrainStep(model, Plain(model.parameters()), 3)
+
+
+class TestTrainerFitCompiled:
+    def _dataset(self):
+        from repro.data.synthetic_segmentation import (
+            SyntheticSegmentationConfig,
+            SyntheticSegmentationDataset,
+        )
+
+        return SyntheticSegmentationDataset(
+            SyntheticSegmentationConfig(
+                image_size=8, num_classes=3, num_train=6, num_val=4, seed=7
+            )
+        )
+
+    def _run_fit(self, train_engine=None, pwl_engine=None, use_context=False):
+        dataset = self._dataset()
+        config = ModelConfig(
+            image_size=8, num_classes=3, embed_dim=8, depth=1, seed=0
+        )
+        if pwl_engine is not None:
+            suite = PWLSuite(
+                approximations={
+                    op: build_approximation(op)
+                    for op in ("exp", "gelu", "div", "rsqrt")
+                },
+                replace={"exp", "gelu", "div", "rsqrt"},
+                engine=pwl_engine,
+            )
+            model = MiniSegformer(config, suite=suite)
+            prepare_quantized_model(model)
+        else:
+            model = MiniSegformer(config, suite=FloatSuite())
+        trainer = Trainer(
+            model, TrainingConfig(epochs=2, batch_size=4, seed=0)
+        )
+        kwargs = {}
+        if not use_context and train_engine is not None:
+            kwargs["train_engine"] = train_engine
+        if use_context:
+            with engine_config.use(train_engine=train_engine):
+                result = trainer.fit(
+                    dataset.train_images, dataset.train_labels,
+                    dataset.val_images, dataset.val_labels,
+                    num_classes=dataset.num_classes,
+                )
+        else:
+            result = trainer.fit(
+                dataset.train_images, dataset.train_labels,
+                dataset.val_images, dataset.val_labels,
+                num_classes=dataset.num_classes, **kwargs
+            )
+        state = {
+            name: value.copy()
+            for name, value in trainer.model.state_dict().items()
+        }
+        return result, state
+
+    @pytest.mark.parametrize("pwl_engine", [None, "dense", "legacy"],
+                             ids=["float", "pwl-dense", "pwl-legacy"])
+    def test_fit_bit_identical_across_train_engines(self, pwl_engine):
+        eager_result, eager_state = self._run_fit("eager", pwl_engine)
+        compiled_result, compiled_state = self._run_fit("compiled", pwl_engine)
+        assert compiled_result.losses == eager_result.losses
+        assert compiled_result.val_miou == eager_result.val_miou
+        assert compiled_result.val_pixel_accuracy == \
+            eager_result.val_pixel_accuracy
+        for name, value in eager_state.items():
+            np.testing.assert_array_equal(compiled_state[name], value)
+
+    def test_engine_config_context_selects_compiled(self):
+        explicit, explicit_state = self._run_fit("compiled")
+        via_context, context_state = self._run_fit(
+            "compiled", use_context=True
+        )
+        assert via_context.losses == explicit.losses
+        for name, value in explicit_state.items():
+            np.testing.assert_array_equal(context_state[name], value)

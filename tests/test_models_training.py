@@ -288,3 +288,53 @@ class TestTrainer:
         miou, acc = trainer.evaluate(tiny_dataset.val_images, tiny_dataset.val_labels, 4)
         assert 0.0 <= miou <= 1.0
         assert 0.0 <= acc <= 1.0
+
+
+class TestTrainStepReleasesTape:
+    """Regression pin for the eager fit loop's memory contract: every
+    step's backward must release the autograd tape (no retain_graph
+    survivor), or a long fine-tune accumulates every intermediate
+    activation of every step."""
+
+    def _fixtures(self):
+        dataset = SyntheticSegmentationDataset(
+            SyntheticSegmentationConfig(
+                image_size=16, num_classes=4, num_train=8, num_val=4, seed=5
+            )
+        )
+        model = MiniSegformer(SMALL)
+        trainer = Trainer(model, TrainingConfig(epochs=1, batch_size=4, seed=0))
+        return trainer, dataset
+
+    def test_forward_intermediates_are_freed_after_fit(self):
+        import gc
+        import weakref
+
+        trainer, dataset = self._fixtures()
+        refs = []
+        original_forward = trainer.model.forward
+
+        def spying_forward(x):
+            out = original_forward(x)
+            refs.append(weakref.ref(out))
+            return out
+
+        trainer.model.forward = spying_forward
+        trainer.fit(
+            dataset.train_images, dataset.train_labels, num_classes=4
+        )
+        gc.collect()
+        assert refs and all(ref() is None for ref in refs)
+
+    def test_fit_raises_if_backward_retains_the_tape(self, monkeypatch):
+        trainer, dataset = self._fixtures()
+        original_backward = Tensor.backward
+
+        def sticky_backward(self, grad=None, retain_graph=False):
+            return original_backward(self, grad, retain_graph=True)
+
+        monkeypatch.setattr(Tensor, "backward", sticky_backward)
+        with pytest.raises(RuntimeError, match="leaked its autograd tape"):
+            trainer.fit(
+                dataset.train_images, dataset.train_labels, num_classes=4
+            )
