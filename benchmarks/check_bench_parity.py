@@ -82,6 +82,19 @@ EXACT_KEYS = (
     ("scrub", "detected"),
     ("scrub", "healed"),
     ("scrub", "post_heal_corrupt"),
+    # Decode benchmark (bench_decode.py): the 8-way cached/uncached x
+    # eager/compiled x dense/legacy greedy-stream parity, the SHA-256 of
+    # the reference token stream (semantics drift changes the hash even
+    # when the in-run flags pass), the power-of-two bucket specialization
+    # count, and the served-vs-direct decode parity.  decode_steps is a
+    # seeded work counter (sessions x steps); decode_batches is
+    # scheduling-dependent and deliberately not pinned.
+    ("decode", "identical_streams"),
+    ("decode", "tokens_sha256"),
+    ("decode", "trace_specializations"),
+    ("serving_decode", "identical_results"),
+    ("serving_decode", "batched"),
+    ("serving_decode", "decode_steps"),
 )
 
 # (section, key) fast-path timings gated by the noise tolerance.
@@ -105,6 +118,9 @@ TIMING_KEYS = (
     # Journal replay + finish time for the resumed sweep
     # (bench_sweep_resilience.py); the kill phase itself is not gated.
     ("kill_resume", "resume_seconds"),
+    # Cached compiled decode loop (bench_decode.py) — the headline path;
+    # uncached baselines are recorded but not gated.
+    ("decode", "cached_compiled_seconds"),
 )
 
 

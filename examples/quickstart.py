@@ -20,7 +20,11 @@ This is the 60-second tour of the library:
    without rebuilding a single completed cell,
 9. fine-tune through the compiled training engine — the whole step
    (forward + backward + optimizer) traced once and replayed from a
-   static plan, bit-identical to the eager loop.
+   static plan, bit-identical to the eager loop,
+10. greedy-decode from a quantized decoder block through the KV-cached
+    compiled incremental step — O(T) instead of O(T²), a handful of
+    power-of-two cache-bucket plans instead of one trace per position
+    (see ``examples/decode_demo.py`` for the served, batched version).
 
 Run with::
 
@@ -172,6 +176,26 @@ def main() -> None:
     print("compiled fine-tune weights identical:",
           all(np.array_equal(compiled_state[k], eager_state[k])
               for k in eager_state))
+
+    # 9. KV-cached autoregressive decode: the searched GELU pwl inside a
+    #    causal decoder block, greedy-decoding through the compiled
+    #    incremental step (decode_engine="compiled", or globally via
+    #    REPRO_DECODE_ENGINE).  The KV cache makes each token O(1) model
+    #    work instead of re-running the whole prefix, and cache capacity
+    #    is bucketed in powers of two so the compiled step traces only a
+    #    handful of plans for the whole stream.
+    from repro.nn import DecoderConfig, MiniDecoder, greedy_generate
+
+    decoder = MiniDecoder(DecoderConfig(vocab_size=32, max_seq=64,
+                                        embed_dim=32, depth=2, seed=3),
+                          suite=suite)
+    decoder.eval()
+    prompt = [1, 4, 7, 2]
+    cached = greedy_generate(decoder, prompt, 20, cache=True, engine="compiled")
+    uncached = greedy_generate(decoder, prompt, 20, cache=False, engine="eager")
+    print("\nKV-cached decode stream:", cached)
+    print("matches uncached O(T^2) baseline:", cached == uncached)
+    print("cache-bucket plans traced:", decoder.compiled_step().specializations)
 
 
 if __name__ == "__main__":

@@ -54,6 +54,7 @@ GA_ENGINES: Tuple[str, ...] = ("batch", "legacy")
 PWL_ENGINES: Tuple[str, ...] = ("dense", "legacy")
 INFER_ENGINES: Tuple[str, ...] = ("eager", "compiled")
 TRAIN_ENGINES: Tuple[str, ...] = ("eager", "compiled")
+DECODE_ENGINES: Tuple[str, ...] = ("eager", "compiled")
 
 # Environment knobs (the env layer of the resolution order).
 GA_ENGINE_ENV = "REPRO_GA_ENGINE"
@@ -64,6 +65,7 @@ SWEEP_LEASE_S_ENV = "REPRO_SWEEP_LEASE_S"
 ARTIFACT_DIR_ENV = "REPRO_ARTIFACT_DIR"
 INFER_ENGINE_ENV = "REPRO_INFER_ENGINE"
 TRAIN_ENGINE_ENV = "REPRO_TRAIN_ENGINE"
+DECODE_ENGINE_ENV = "REPRO_DECODE_ENGINE"
 RETRY_ATTEMPTS_ENV = "REPRO_RETRY_ATTEMPTS"
 RETRY_BASE_DELAY_ENV = "REPRO_RETRY_BASE_DELAY"
 SERVE_QUEUE_LIMIT_ENV = "REPRO_SERVE_QUEUE_LIMIT"
@@ -88,6 +90,12 @@ class EngineConfig:
     # are bit-identical per the PR 9 contract — losses, weights, optimizer
     # buffers and the RNG stream match exactly.
     train_engine: str = "eager"
+    # Autoregressive-decode knob (PR 10): whether ``MiniDecoder`` token
+    # steps (and the serving tier's ``submit_decode`` drains) replay the
+    # per-(batch, cache-bucket) compiled single-token plan or run the
+    # eager step.  Greedy token streams are identical either way; the
+    # eager-cached and compiled-cached *logits* are bit-identical.
+    decode_engine: str = "eager"
     # Durable-sweep knobs (PR 8): ``sweep_run_dir`` makes every
     # ``SweepEngine.run_manifest`` journal its cell state under that
     # directory (crash-safe resume via ``SweepEngine.resume``);
@@ -117,6 +125,7 @@ class EngineConfig:
         check_pwl_engine(self.pwl_engine)
         check_infer_engine(self.infer_engine)
         check_train_engine(self.train_engine)
+        check_decode_engine(self.decode_engine)
         if self.sweep_workers < 0:
             raise ValueError("sweep_workers must be >= 0, got %r" % (self.sweep_workers,))
         if self.sweep_lease_s <= 0:
@@ -188,6 +197,15 @@ def check_train_engine(engine: str) -> str:
     return engine
 
 
+def check_decode_engine(engine: str) -> str:
+    """Validate an autoregressive-decode engine name."""
+    if engine not in DECODE_ENGINES:
+        raise ValueError(
+            "unknown engine %r; expected one of %s" % (engine, DECODE_ENGINES)
+        )
+    return engine
+
+
 _FIELDS = tuple(field.name for field in dataclasses.fields(EngineConfig))
 _OVERRIDES: List[Dict[str, Any]] = []
 
@@ -222,6 +240,9 @@ def _env_layer() -> Dict[str, Any]:
     train = os.environ.get(TRAIN_ENGINE_ENV)
     if train:
         layer["train_engine"] = train
+    decode = os.environ.get(DECODE_ENGINE_ENV)
+    if decode:
+        layer["decode_engine"] = decode
     for env, field, convert in (
         (SWEEP_LEASE_S_ENV, "sweep_lease_s", float),
         (RETRY_ATTEMPTS_ENV, "retry_attempts", int),
@@ -353,6 +374,22 @@ def resolve_train_engine(override: Optional[str] = None) -> str:
     if override is not None:
         return check_train_engine(override)
     return current().train_engine
+
+
+def resolve_decode_engine(override: Optional[str] = None) -> str:
+    """Autoregressive-decode engine: kwarg > context > env > ``"eager"``.
+
+    ``"compiled"`` routes KV-cached single-token decode steps through
+    :class:`repro.graph.executor.CompiledDecodeStep` — one traced plan per
+    (batch, cache-capacity) signature, cache tensors carried in-place
+    between replays; ``"eager"`` runs the dynamic step per token.  The
+    greedy token streams are identical across engines (pinned by the
+    decode parity suite), and eager-vs-compiled logits are bit-identical
+    for the same cache state.
+    """
+    if override is not None:
+        return check_decode_engine(override)
+    return current().decode_engine
 
 
 def resolve_retry_attempts(override: Optional[int] = None) -> int:

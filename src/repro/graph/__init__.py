@@ -20,9 +20,16 @@ PR 9 extends the pipeline to whole *training* steps: a gradient-capturing
 graph nodes, and :class:`CompiledTrainStep` replays the joint
 forward+backward+update plan (``REPRO_TRAIN_ENGINE=compiled``), again
 bit-identical to the eager loop.
+
+PR 10 adds autoregressive decode: :class:`CompiledDecodeStep` replays a
+decoder's KV-cached single-token step per (batch, cache-capacity-bucket)
+signature with the cache arrays as carried slots
+(``REPRO_DECODE_ENGINE=compiled``), bit-identical logits to the eager
+step.
 """
 
 from repro.graph.executor import (
+    CompiledDecodeStep,
     CompiledGraph,
     CompiledModel,
     CompiledTrainStep,
@@ -57,6 +64,7 @@ __all__ = [
     "fuse_elementwise_chains",
     "MemoryPlan",
     "plan_memory",
+    "CompiledDecodeStep",
     "CompiledGraph",
     "CompiledModel",
     "CompiledTrainStep",

@@ -534,3 +534,130 @@ class CompiledTrainStep:
             "specializations": len(self._cache),
             "signatures": per_signature,
         }
+
+
+# -- compiled autoregressive decode ----------------------------------------------
+
+
+class CompiledDecodeStep:
+    """The single-token decode step of a cache-carrying decoder, compiled.
+
+    Wraps a model exposing ``step(token_onehot, pos_onehot, mask, *caches)
+    -> (logits, *new_caches)`` — :class:`repro.nn.transformer.MiniDecoder` —
+    and replays it from a per-signature static plan.  The KV cache arrays
+    are *carried slots*: they enter each replay as plain array inputs and
+    the step's outputs are handed back to the caller's
+    :class:`~repro.nn.transformer.KVCache` to rebind, the same
+    input→output state carry :class:`CompiledTrainStep` uses for
+    parameters and optimizer buffers.  Nothing is captured by reference,
+    so one compiled step serves any number of concurrent caches — the
+    serving tier drains whole session groups through a single plan.
+
+    The signature covers every input's shape/dtype, so specialisations are
+    keyed by (batch, cache capacity).  Callers bucket capacity in powers
+    of two (:func:`repro.nn.transformer.bucket_capacity`): a ``T``-token
+    decode costs ``~log2(T)`` traces, and every step between bucket
+    crossings is a pure replay.
+
+    Parameter staleness mirrors :class:`CompiledModel`: an identity
+    snapshot of every parameter array, taken after tracing so that
+    first-call side effects (quantizer calibration) don't self-invalidate,
+    flushes the cache whenever the weights were rebound externally.
+    """
+
+    def __init__(
+        self, model: Module, passes: Sequence[str] = DEFAULT_PASSES
+    ) -> None:
+        if not hasattr(model, "step"):
+            raise TypeError(
+                "model %s has no step() method to compile"
+                % type(model).__name__
+            )
+        self.model = model
+        self.passes = tuple(passes)
+        self._cache: Dict[Tuple[Tuple[Tuple[int, ...], str], ...], CompiledGraph] = {}
+        self._param_snapshot: List[Tuple[Any, Any]] = []
+        self.compile_count = 0
+        self.replay_count = 0
+
+    # -- staleness (identical contract to CompiledModel) -----------------------
+
+    def _params_moved(self) -> bool:
+        for param, data in self._param_snapshot:
+            if param.data is not data:
+                return True
+        return False
+
+    def _take_snapshot(self) -> None:
+        self._param_snapshot = [(p, p.data) for p in self.model.parameters()]
+
+    def invalidate(self) -> None:
+        """Drop every cached specialisation (forces re-tracing)."""
+        self._cache.clear()
+        self._param_snapshot = []
+
+    @property
+    def specializations(self) -> int:
+        """Number of cached (batch, capacity) specialisations."""
+        return len(self._cache)
+
+    # -- the step surface ------------------------------------------------------
+
+    def step(
+        self,
+        token_onehot: Any,
+        pos_onehot: Any,
+        mask: Any,
+        cache_arrays: Sequence[Any],
+    ) -> Tuple[Any, List[Any]]:
+        """Advance one token per row; returns ``(logits, new_cache_arrays)``.
+
+        Inputs mirror the model's ``step`` signature with the cache arrays
+        flattened in :meth:`repro.nn.transformer.KVCache.arrays` order; the
+        returned cache arrays go straight into
+        :meth:`~repro.nn.transformer.KVCache.update`.  Logits are
+        bit-identical to the eager step on the same arrays — the plan
+        replays the same registry ops in the same order.
+        """
+        arrays = [
+            np.asarray(token_onehot, dtype=np.float64),
+            np.asarray(pos_onehot, dtype=np.float64),
+            np.asarray(mask, dtype=np.float64),
+        ]
+        arrays.extend(np.asarray(array, dtype=np.float64)
+                      for array in cache_arrays)
+        if self._param_snapshot and self._params_moved():
+            self.invalidate()
+        signature = CompiledModel._signature(arrays)
+        compiled = self._cache.get(signature)
+        if compiled is None:
+            fault_point("compiled.decode.trace")
+            captured = trace(self.model.step, *arrays)
+            compiled = CompiledGraph(optimize(captured, self.passes))
+            self._cache[signature] = compiled
+            self.compile_count += 1
+            # Snapshot *after* tracing — see CompiledModel.graph_for.
+            self._take_snapshot()
+        fault_point("compiled.decode.replay")
+        outputs = compiled.run(*arrays)
+        self.replay_count += 1
+        return outputs[0], outputs[1:]
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        """Plan metrics per cached (batch, capacity) signature."""
+        per_signature = {}
+        for signature, compiled in self._cache.items():
+            batch, capacity = signature[0][0][0], signature[3][0][2]
+            per_signature["batch=%d,capacity=%d" % (batch, capacity)] = {
+                "nodes": compiled.num_steps,
+                "peak_live": compiled.plan.peak_live,
+                "num_slots": compiled.plan.num_slots,
+            }
+        return {
+            "compile_count": self.compile_count,
+            "replay_count": self.replay_count,
+            "specializations": len(self._cache),
+            "signatures": per_signature,
+        }

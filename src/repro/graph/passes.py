@@ -220,8 +220,14 @@ def fuse_elementwise_chains(graph: Graph) -> Graph:
 
     Applied to traced training graphs this fuses both forward activation
     arithmetic (gelu's polynomial, hswish) and the mirrored VJP chains the
-    backward capture emits.  Nodes whose ``saved_output`` is consumed stay
-    unfused — the chain kernel returns only the carry.
+    backward capture emits.  ``unbroadcast`` links fuse too: though not
+    element-wise (they sum the carry down to a parameter's shape), each is
+    a pure function of carry + a static ``shape`` param, so the kernel
+    replays its registered forward like any other step — this pulls the
+    grad-reduction node that terminates most backward chains into the
+    chain that produced the gradient instead of leaving a one-op
+    remainder.  Nodes whose ``saved_output`` is consumed stay unfused —
+    the chain kernel returns only the carry.
     """
     consumers: Dict[int, set] = {}
     for index, node in enumerate(graph.nodes):
@@ -232,7 +238,7 @@ def fuse_elementwise_chains(graph: Graph) -> Graph:
     def fusable(node: Node) -> bool:
         if node.saved_output is not None:
             return False
-        if node.op in _ops.ELEMENTWISE_OPS:
+        if node.op in _ops.ELEMENTWISE_OPS or node.op == "unbroadcast":
             return True
         base = _ops.vjp_base(node.op)
         return base is not None and base in _ops.ELEMENTWISE_OPS

@@ -46,6 +46,15 @@ from repro.nn.models import (
     SegmentationTransformer,
     TransformerBlock,
 )
+from repro.nn.transformer import (
+    CausalSelfAttention,
+    DecoderBlock,
+    DecoderConfig,
+    KVCache,
+    MiniDecoder,
+    bucket_capacity,
+    greedy_generate,
+)
 from repro.nn.optim import SGD, Adam, CosineSchedule
 from repro.nn.training import Trainer, TrainingConfig, TrainingResult, prepare_quantized_model, transfer_weights
 from repro.nn.metrics import mean_iou, pixel_accuracy, confusion_matrix, iou_per_class
@@ -91,6 +100,13 @@ __all__ = [
     "MiniEfficientViT",
     "SegmentationTransformer",
     "TransformerBlock",
+    "CausalSelfAttention",
+    "DecoderBlock",
+    "DecoderConfig",
+    "KVCache",
+    "MiniDecoder",
+    "bucket_capacity",
+    "greedy_generate",
     "SGD",
     "Adam",
     "CosineSchedule",

@@ -53,6 +53,56 @@ def layer_norm(x: Tensor, weight: Tensor, bias: Tensor, eps: float = 1e-5) -> Te
     return normalised * weight + bias
 
 
+#: How far below the row minimum a masked attention score is pushed before
+#: the stable-softmax max subtraction.  The value only has to keep masked
+#: slots from winning the row max — exact zeroing of their probability is
+#: done multiplicatively (the pwl EXP table clamps at its search-range
+#: floor and never underflows to 0.0, so an additive mask alone would leak
+#: ~exp(range_min) per masked slot).  Kept modest on purpose: the masked
+#: scores pass through the EXP operator's input quantizer, and a huge
+#: offset would blow up its calibrated power-of-two scale.
+MASK_OFFSET = 30.0
+
+
+def causal_mask(tokens: int) -> np.ndarray:
+    """Lower-triangular ``(tokens, tokens)`` float mask (1.0 = attend)."""
+    return np.tril(np.ones((tokens, tokens)))
+
+
+def masked_softmax(scores: Tensor, mask, exp_fn=None, reciprocal_fn=None) -> Tensor:
+    """Numerically stable softmax over the last axis, restricted to ``mask``.
+
+    ``mask`` is a float array/Tensor broadcastable to ``scores`` with 1.0 at
+    valid slots and 0.0 elsewhere.  Three properties the decode stack
+    depends on:
+
+    * **stable**: the row max is subtracted before EXP, and masked slots
+      are first pushed :data:`MASK_OFFSET` below their own score so the
+      max lands on a valid entry for any attention-scale input — ±30
+      magnitude logits survive bit-exactly (pinned by the traced-softmax
+      parity test);
+    * **exactly zero outside the mask**: the numerator is multiplied by the
+      mask, so masked probabilities are 0.0 bit-for-bit under the exact
+      EXP *and* under the pwl LUT engines (whose tables never underflow);
+    * **traceable**: every step is a registry op — the max/detach subtree
+      traces into the compiled graph, and when ``scores`` is built from
+      constants the whole subtree constant-folds.
+
+    ``exp_fn`` / ``reciprocal_fn`` default to the exact operators; the
+    attention layers pass their suite hooks so the pwl replacements
+    intercept EXP and DIV here exactly as in the encoder softmax.
+    """
+    if not isinstance(mask, Tensor):
+        mask = Tensor(mask)
+    exp_fn = exp_fn or (lambda t: t.exp())
+    reciprocal_fn = reciprocal_fn or (lambda t: 1.0 / t)
+    shifted = scores - (1.0 - mask) * MASK_OFFSET
+    shifted = shifted - shifted.max(axis=-1, keepdims=True).detach()
+    numerator = exp_fn(shifted) * mask
+    denominator = numerator.sum(axis=-1, keepdims=True)
+    return numerator * reciprocal_fn(denominator)
+
+
 def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
     """Log-softmax along ``axis``."""
     shifted = x - x.max(axis=axis, keepdims=True).detach()

@@ -7,6 +7,10 @@ sheds overload), per-request deadlines
 (:class:`~repro.reliability.errors.DeadlineExceededError`), eager
 degradation on compiled failures, and a ``health()`` report with latency
 histograms — see :mod:`repro.serve.engine` and ``examples/serve_demo.py``.
+It also serves autoregressive decoders: :meth:`BatchingServer.open_session`
+/ :meth:`~BatchingServer.submit_decode` run KV-cached token steps through
+the same admission queue, grouped per drain by cache-capacity bucket into
+one batched compiled step per group (``examples/decode_demo.py``).
 
 :class:`ReplicatedServer` puts N forked worker processes behind the same
 admission surface and supervises them: heartbeat + sentinel death
@@ -25,11 +29,12 @@ from repro.reliability.errors import (
     ServerClosedError,
     SwapFailedError,
 )
-from repro.serve.engine import BatchingServer, ServerStats
+from repro.serve.engine import BatchingServer, DecodeSession, ServerStats
 from repro.serve.supervisor import ReplicatedServer
 
 __all__ = [
     "BatchingServer",
+    "DecodeSession",
     "ReplicatedServer",
     "DeadlineExceededError",
     "NoHealthyReplicaError",

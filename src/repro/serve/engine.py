@@ -57,6 +57,26 @@ Knob defaults resolve through :mod:`repro.core.engine_config`
 (kwarg > context > ``REPRO_SERVE_QUEUE_LIMIT`` /
 ``REPRO_SERVE_DEADLINE_MS`` > unbounded / no deadline).
 
+Autoregressive decode tier (PR 10) — sequence-bucketed KV-cached serving:
+
+* **Sessions.**  :meth:`BatchingServer.open_session` opens one live
+  stream (prompt + growing KV cache) against a cache-carrying decoder
+  (:class:`repro.nn.transformer.MiniDecoder`); :meth:`submit_decode`
+  enqueues *one token step* for a session through the same admission
+  queue (bounds, deadlines, close ordering all shared with prefill).
+* **Cache-bucket grouping.**  Each drain, live decode requests are
+  grouped by their session's cache capacity bucket (powers of two, see
+  :func:`repro.nn.transformer.bucket_capacity`) and each group runs as
+  **one** batched step — rows are independent, so sessions at different
+  lengths share a step as long as they share a bucket.  Group sizes pad
+  to the next power of two (ghost rows repeat the last session, outputs
+  discarded), so the compiled decode executor sees a handful of
+  (batch, capacity) signatures under arbitrary traffic.
+* **Engine knob.**  ``decode_engine`` (kwarg > context >
+  ``REPRO_DECODE_ENGINE`` > ``"eager"``) picks the per-group step:
+  :class:`repro.graph.executor.CompiledDecodeStep` replay or the eager
+  step.  Greedy token streams are identical either way.
+
 Responses are plain ``concurrent.futures.Future`` objects; exceptions
 raised by a shape-group propagate to every request in it.  The server is
 a context manager — ``close()`` stops the worker after the queue empties,
@@ -67,6 +87,7 @@ then assert-drains the queue: anything still there is a stranded request
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import queue
 import threading
 import time
@@ -76,6 +97,7 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.backend import xp as np
 
 from repro.core.engine_config import (
+    resolve_decode_engine,
     resolve_infer_engine,
     resolve_serve_deadline_ms,
     resolve_serve_queue_limit,
@@ -105,6 +127,10 @@ class ServerStats:
     the admission-control rejections (queue full / deadline passed) and
     are *not* part of ``requests``/``failed``.  ``fallbacks`` counts
     batches answered by the eager path after a compiled failure.
+    ``decode_steps``/``decode_batches`` count answered single-token
+    decode requests and the bucket-grouped batched steps that served
+    them — ``decode_steps > decode_batches`` is the direct evidence that
+    concurrent sessions shared steps.
     """
 
     requests: int = 0
@@ -116,6 +142,8 @@ class ServerStats:
     shed: int = 0
     expired: int = 0
     fallbacks: int = 0
+    decode_steps: int = 0
+    decode_batches: int = 0
 
     @property
     def mean_batch_size(self) -> float:
@@ -137,6 +165,67 @@ class _Request:
         if self.deadline is None:
             return False
         return (now if now is not None else time.monotonic()) >= self.deadline
+
+    # Every answer path goes through these two, so subclasses can attach
+    # cleanup (the decode request releases its session's in-flight latch).
+
+    def resolve(self, value: Any) -> None:
+        self.future.set_result(value)
+
+    def fail(self, error: BaseException) -> None:
+        self.future.set_exception(error)
+
+
+class DecodeSession:
+    """One live autoregressive stream: its token history and KV cache.
+
+    Created by :meth:`BatchingServer.open_session`; advanced one token at
+    a time by :meth:`BatchingServer.submit_decode`.  ``tokens`` holds the
+    prompt plus every token generated so far; ``cache`` carries the
+    attention prefix at the session's power-of-two capacity bucket.  The
+    worker thread owns both between submit and resolution — the
+    ``_inflight`` latch makes a double-submit fail fast instead of racing
+    two steps of the same stream.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, prompt: Sequence[int], cache: Any) -> None:
+        self.session_id = next(DecodeSession._ids)
+        self.tokens: List[int] = [int(token) for token in prompt]
+        self.prompt_len = len(self.tokens)
+        self.cache = cache
+        self._inflight = False
+
+    @property
+    def position(self) -> int:
+        """The next position to consume (= tokens already in the cache)."""
+        return self.cache.length
+
+    @property
+    def generated(self) -> List[int]:
+        """Tokens produced after the prompt, in order."""
+        return self.tokens[self.prompt_len:]
+
+
+class _DecodeRequest(_Request):
+    """One queued single-token decode step for a live session."""
+
+    __slots__ = ("session",)
+
+    def __init__(
+        self, session: DecodeSession, future: "Future", deadline: Optional[float]
+    ) -> None:
+        super().__init__(None, future, deadline)
+        self.session = session
+
+    def resolve(self, value: Any) -> None:
+        self.session._inflight = False
+        super().resolve(value)
+
+    def fail(self, error: BaseException) -> None:
+        self.session._inflight = False
+        super().fail(error)
 
 
 def _bucket_size(count: int, max_batch: int) -> int:
@@ -193,6 +282,11 @@ class BatchingServer:
         Wrap the compiled executor with eager degradation (default on —
         this is the production path; pass ``False`` to make compiled
         failures fail requests loudly instead).
+    decode_engine:
+        Engine for the bucket-grouped decode steps (only consulted when
+        the served model is a cache-carrying decoder), resolved through
+        :mod:`repro.core.engine_config` (kwarg > context >
+        ``REPRO_DECODE_ENGINE`` > default).
     """
 
     def __init__(
@@ -204,6 +298,7 @@ class BatchingServer:
         max_queue: Optional[int] = None,
         deadline_ms: Optional[float] = None,
         fallback: bool = True,
+        decode_engine: Optional[str] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1, got %d" % max_batch)
@@ -213,18 +308,21 @@ class BatchingServer:
         self.max_batch = max_batch
         self.max_wait = max_wait_ms / 1000.0
         self.engine = resolve_infer_engine(engine)
+        self.decode_engine = resolve_decode_engine(decode_engine)
         self.max_queue = resolve_serve_queue_limit(max_queue)
         self.default_deadline = resolve_serve_deadline_ms(deadline_ms) / 1000.0
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._lock = threading.Lock()  # guards _closed + _depth (admission)
         self._depth = 0
+        self._decode_step = None       # lazy CompiledDecodeStep
+        self._decode_lock = threading.Lock()  # session open / calibration
         # Counters are mutated by the worker thread and read by any caller:
         # one lock guards the mutable record; stats() snapshots under it.
         self._stats_lock = threading.Lock()
         self._counters = {field.name: 0 for field in dataclasses.fields(ServerStats)}
         self._latency: List[float] = []
-        self._bucket_latency: Dict[int, List[float]] = {}
+        self._bucket_latency: Dict[Any, List[float]] = {}
         self._worker_error: Optional[BaseException] = None
         self._fallback = fallback
         self._setup_executor()
@@ -313,6 +411,107 @@ class BatchingServer:
             future.result(max(0.0, deadline - time.monotonic())) for future in futures
         ]
 
+    # -- decode client surface -------------------------------------------------
+
+    def open_session(self, prompt: Sequence[int]) -> DecodeSession:
+        """Open a live decode stream for ``prompt`` (a token-id sequence).
+
+        Calibrates the decoder's operator quantizers from the prompt on
+        the first session (identical to every other decode path — the
+        stream-parity precondition) and allocates the session's KV cache
+        at the smallest capacity bucket.
+        """
+        if not hasattr(self.model, "step"):
+            raise TypeError(
+                "model %s is not a cache-carrying decoder (no step())"
+                % type(self.model).__name__
+            )
+        prompt = [int(token) for token in prompt]
+        if not prompt:
+            raise ValueError("prompt must contain at least one token")
+        if len(prompt) >= self.model.config.max_seq:
+            raise ValueError(
+                "prompt length %d leaves no room to decode (max_seq %d)"
+                % (len(prompt), self.model.config.max_seq)
+            )
+        with self._decode_lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            self.model.calibrate(prompt)
+            if self._decode_step is None and self.decode_engine == "compiled":
+                from repro.graph.executor import CompiledDecodeStep
+
+                self._decode_step = CompiledDecodeStep(self.model)
+        return DecodeSession(prompt, self.model.new_cache(batch=1))
+
+    def submit_decode(
+        self, session: DecodeSession, deadline_ms: Optional[float] = None
+    ) -> "Future":
+        """Enqueue one token step; resolves to the predicted next token.
+
+        While the session's position is inside the prompt this is a
+        prefill step (the prediction is reported but the next prompt
+        token is what enters the cache); once past it, each step appends
+        its greedy prediction to ``session.tokens``.  A session supports
+        one in-flight step at a time — a second submit before the first
+        resolves raises ``RuntimeError`` instead of racing the cache.
+
+        Shares the prefill path's admission control: ``QueueFullError``
+        on a full queue, deadline expiry before batch assembly.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be > 0, got %r" % (deadline_ms,))
+        if session.position + 1 >= self.model.config.max_seq:
+            raise ValueError(
+                "session %d is at max_seq %d; cannot decode further"
+                % (session.session_id, self.model.config.max_seq)
+            )
+        deadline_s = (
+            deadline_ms / 1000.0 if deadline_ms is not None else self.default_deadline
+        )
+        deadline = time.monotonic() + deadline_s if deadline_s > 0 else None
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if session._inflight:
+                raise RuntimeError(
+                    "session %d already has a step in flight" % session.session_id
+                )
+            if self.max_queue and self._depth >= self.max_queue:
+                shed = True
+            else:
+                shed = False
+                session._inflight = True
+                self._depth += 1
+                future: Future = Future()
+                self._queue.put(_DecodeRequest(session, future, deadline))
+        if shed:
+            self._count(shed=1)
+            raise QueueFullError(
+                "admission queue full (%d queued, limit %d)"
+                % (self.max_queue, self.max_queue)
+            )
+        self._count(requests=1)
+        return future
+
+    def generate(
+        self,
+        prompt: Sequence[int],
+        num_new: int,
+        timeout: Optional[float] = None,
+    ) -> List[int]:
+        """Greedy-decode ``num_new`` tokens after ``prompt``; returns them.
+
+        Sequential per session — the batching win comes from *concurrent*
+        sessions whose steps share bucket groups, so run ``generate``
+        from several threads to exercise it (the decode benchmark does).
+        """
+        session = self.open_session(prompt)
+        steps = len(prompt) + num_new - 1
+        for _ in range(steps):
+            self.submit_decode(session).result(timeout)
+        return session.generated
+
     def close(self) -> None:
         """Stop the worker after every queued request has been answered.
 
@@ -345,7 +544,7 @@ class BatchingServer:
                 % len(stranded)
             )
             for request in stranded:
-                request.future.set_exception(error)
+                request.fail(error)
             raise AssertionError(
                 "BatchingServer.close() ordering contract violated: "
                 "%d request(s) were queued behind the stop sentinel" % len(stranded)
@@ -369,7 +568,14 @@ class BatchingServer:
             if count > self._counters["max_batch_size"]:
                 self._counters["max_batch_size"] = count
 
-    def _record_latency(self, bucket: int, seconds: float) -> None:
+    def _record_latency(self, bucket: Any, seconds: float) -> None:
+        """Add one sample to the overall and per-bucket windows.
+
+        ``bucket`` is the padded batch size (int) for prefill groups, or a
+        ``"decode/batch<G>/cap<C>"`` string for decode groups — the cache
+        capacity is part of the key so a decode group never aliases a
+        prefill group of the same padded size in the percentile stats.
+        """
         with self._stats_lock:
             window = self._bucket_latency.setdefault(bucket, [])
             window.append(seconds)
@@ -403,9 +609,15 @@ class BatchingServer:
             closed = self._closed
         with self._stats_lock:
             latency = _percentiles(self._latency)
+            # Prefill keys are padded batch sizes (ints, sorted numerically
+            # first); decode keys are "decode/batch<G>/cap<C>" strings —
+            # distinct key spaces, so the two tiers never alias.
             buckets = {
                 str(bucket): _percentiles(window)
-                for bucket, window in sorted(self._bucket_latency.items())
+                for bucket, window in sorted(
+                    self._bucket_latency.items(),
+                    key=lambda item: (isinstance(item[0], str), str(item[0])),
+                )
             }
         degraded = snapshot.fallbacks > 0 or self._worker_error is not None
         if closed:
@@ -440,7 +652,7 @@ class BatchingServer:
             self._depth -= 1
         if item.expired(now):
             self._count(expired=1)
-            item.future.set_exception(
+            item.fail(
                 DeadlineExceededError(
                     "deadline expired %.1f ms before batch assembly"
                     % (1e3 * (now - item.deadline))
@@ -500,18 +712,21 @@ class BatchingServer:
         for request in requests:
             if request.expired(now):
                 self._count(expired=1)
-                request.future.set_exception(
+                request.fail(
                     DeadlineExceededError("deadline expired during batch collection")
                 )
             else:
                 live.append(request)
+        decode = [r for r in live if isinstance(r, _DecodeRequest)]
+        prefill = [r for r in live if not isinstance(r, _DecodeRequest)]
         # Group by image shape so no request is spatially padded; each
         # group becomes one stacked forward.
         groups: Dict[Tuple[int, ...], List[_Request]] = {}
-        for request in live:
+        for request in prefill:
             groups.setdefault(request.image.shape, []).append(request)
         for _, group in sorted(groups.items()):
             self._submit_group(group)
+        self._run_decode(decode)
 
     @staticmethod
     def _pad_group(group: List[_Request], max_batch: int) -> Tuple[Any, int]:
@@ -554,13 +769,83 @@ class BatchingServer:
         self._observe_max_batch(count)
         for index, request in enumerate(group):
             self._record_latency(padded_to, done - request.enqueued)
-            request.future.set_result(predictions[index])
+            request.resolve(predictions[index])
 
     def _fail_group(self, group: List[_Request], error: BaseException) -> None:
         """Fail every caller in a group with the same error."""
         self._count(failed=len(group))
         for request in group:
-            request.future.set_exception(error)
+            request.fail(error)
+
+    # -- decode drain ----------------------------------------------------------
+
+    def _run_decode(self, requests: List["_DecodeRequest"]) -> None:
+        """Serve this drain's decode requests, one batched step per bucket.
+
+        Each session's cache is first grown to the bucket holding its next
+        position, then requests sharing a capacity bucket run as a single
+        batched step — the sequence-bucketed group drain.  A failing group
+        fails only its own sessions' steps.
+        """
+        if not requests:
+            return
+        groups: Dict[int, List[_DecodeRequest]] = {}
+        for request in requests:
+            capacity = request.session.cache.ensure(request.session.position + 1)
+            groups.setdefault(capacity, []).append(request)
+        for _, group in sorted(groups.items()):
+            try:
+                self._decode_group(group)
+            except BaseException as error:
+                self._fail_group(group, error)
+
+    def _decode_group(self, group: List["_DecodeRequest"]) -> None:
+        """One batched compiled/eager step over a same-bucket group."""
+        from repro.nn.transformer import stack_caches, step_inputs
+
+        sessions = [request.session for request in group]
+        count = len(sessions)
+        padded_to = _bucket_size(count, self.max_batch)
+        # Ghost rows repeat the last session; per-row outputs beyond the
+        # real count are discarded.  Reading one cache twice is safe — the
+        # step is functional in the cache arrays.
+        rows = sessions + [sessions[-1]] * (padded_to - count)
+        capacity = rows[0].cache.capacity
+        positions = [session.position for session in rows]
+        tokens = [session.tokens[position]
+                  for session, position in zip(rows, positions)]
+        token_onehot, pos_onehot, mask = step_inputs(
+            self.model, tokens, positions, capacity
+        )
+        stacked = stack_caches([session.cache for session in rows])
+        logits, new_caches = self._decode_predict(
+            token_onehot, pos_onehot, mask, stacked.arrays()
+        )
+        done = time.monotonic()
+        self._count(decode_batches=1, decode_steps=count,
+                    padded_rows=padded_to - count)
+        bucket_key = "decode/batch%d/cap%d" % (padded_to, capacity)
+        for index, request in enumerate(group):
+            session = request.session
+            session.cache.update(
+                [array[index:index + 1].copy() for array in new_caches]
+            )
+            predicted = int(np.argmax(logits[index]))
+            if session.cache.length == len(session.tokens):
+                session.tokens.append(predicted)
+            self._record_latency(bucket_key, done - request.enqueued)
+            request.resolve(predicted)
+
+    def _decode_predict(
+        self, token_onehot: Any, pos_onehot: Any, mask: Any,
+        cache_arrays: Sequence[Any],
+    ) -> Tuple[Any, Sequence[Any]]:
+        """One batched decode step via the configured decode engine."""
+        if self._decode_step is not None:
+            return self._decode_step.step(
+                token_onehot, pos_onehot, mask, cache_arrays
+            )
+        return self.model.eager_step(token_onehot, pos_onehot, mask, cache_arrays)
 
     def _serve_loop(self) -> None:
         try:
@@ -581,5 +866,5 @@ class BatchingServer:
                     with self._lock:
                         self._depth -= 1
                     self._count(failed=1)
-                    item.future.set_exception(error)
+                    item.fail(error)
             raise
